@@ -1,0 +1,87 @@
+// Command pegbench reproduces the paper's evaluation (Section 6) at
+// configurable scale, printing one paper-style table per figure. See
+// EXPERIMENTS.md for recorded outputs and the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	pegbench                     # full suite at default (scaled-down) size
+//	pegbench -only fig7e,fig7f   # selected figures
+//	pegbench -main 2000 -sizes 500,1000,2000,4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pegbench: ")
+	cfg := harness.DefaultConfig()
+	var (
+		only    = flag.String("only", "", "comma-separated figure list (default: all)")
+		sizes   = flag.String("sizes", "", "comma-separated graph sizes (refs)")
+		offline = flag.String("offline-sizes", "", "comma-separated offline grid sizes")
+		mainSz  = flag.Int("main", cfg.MainSize, "main graph size (the paper's 100k analog)")
+		qpp     = flag.Int("queries", cfg.QueriesPerPoint, "random queries averaged per point")
+		timeout = flag.Duration("timeout", cfg.QueryTimeout, "per-query timeout")
+		seed    = flag.Int64("seed", cfg.Seed, "random seed")
+	)
+	flag.Parse()
+
+	if *sizes != "" {
+		cfg.Sizes = parseInts(*sizes)
+	}
+	if *offline != "" {
+		cfg.OfflineSizes = parseInts(*offline)
+	}
+	cfg.MainSize = *mainSz
+	cfg.QueriesPerPoint = *qpp
+	cfg.QueryTimeout = *timeout
+	cfg.Seed = *seed
+
+	h, err := harness.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	start := time.Now()
+	if *only == "" {
+		if err := h.RunAll(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		figs := h.Figures()
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			fn, ok := figs[name]
+			if !ok {
+				log.Fatalf("unknown figure %q", name)
+			}
+			if err := fn(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Command pegquery runs the online phase: it loads a PGD and a prebuilt
+// index, parses a query in the text DSL, and prints all probabilistic
+// matches with probability ≥ α together with the per-stage statistics.
+//
+// Usage:
+//
+//	pegquery -pgd graph.pgd -dir ./index -query q.txt -alpha 0.25
+//	echo 'node A l0
+//	node B l1
+//	edge A B' | pegquery -pgd graph.pgd -dir ./index -alpha 0.5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+
+	peg "repro"
+	"repro/internal/query"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pegquery: ")
+	var (
+		pgdPath   = flag.String("pgd", "", "input PGD file (required)")
+		dir       = flag.String("dir", "", "index directory (required)")
+		queryPath = flag.String("query", "", "query file in the DSL (default: stdin)")
+		alpha     = flag.Float64("alpha", 0.25, "probability threshold α")
+		strategy  = flag.String("strategy", "optimized", "optimized, random-decomp, or no-ss-reduction")
+		limit     = flag.Int("limit", 20, "max matches to print (0 = all)")
+		stats     = flag.Bool("stats", false, "print per-stage statistics")
+	)
+	flag.Parse()
+	if *pgdPath == "" || *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var strat peg.Strategy
+	switch *strategy {
+	case "optimized":
+		strat = peg.StrategyOptimized
+	case "random-decomp":
+		strat = peg.StrategyRandomDecomp
+	case "no-ss-reduction":
+		strat = peg.StrategyNoSSReduction
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	f, err := os.Open(*pgdPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := peg.LoadPGD(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := peg.BuildGraph(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := peg.OpenIndex(*dir, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	var src io.Reader = os.Stdin
+	if *queryPath != "" {
+		qf, err := os.Open(*queryPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer qf.Close()
+		src = qf
+	}
+	q, err := query.Parse(src, g.Alphabet())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := peg.Match(ctx, ix, q, peg.MatchOptions{Alpha: *alpha, Strategy: strat})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d matches with Pr ≥ %v (query: %d nodes, %d edges)\n",
+		len(res.Matches), *alpha, q.NumNodes(), q.NumEdges())
+	for i, m := range res.Matches {
+		if *limit > 0 && i >= *limit {
+			fmt.Printf("... and %d more\n", len(res.Matches)-i)
+			break
+		}
+		parts := make([]string, len(m.Mapping))
+		for j, v := range m.Mapping {
+			parts[j] = fmt.Sprintf("n%d→e%d", j, v)
+		}
+		fmt.Printf("  %s  Pr=%.6f (Prle=%.6f, Prn=%.6f)\n",
+			strings.Join(parts, " "), m.Pr(), m.Prle, m.Prn)
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Printf("\nstats:\n")
+		fmt.Printf("  decomposition paths: %d\n", st.NumPaths)
+		fmt.Printf("  search space (log10): path=%.2f context=%.2f structure=%.2f final=%.2f\n",
+			log10(st.SSPath), log10(st.SSContext), log10(st.SSAfterStructure), log10(st.SSFinal))
+		fmt.Printf("  times: decompose=%v candidates=%v build=%v reduce=%v join=%v total=%v\n",
+			st.DecomposeTime, st.CandidateTime, st.BuildTime, st.ReduceTime, st.JoinTime, st.Total)
+	}
+}
+
+func log10(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log10(v)
+}

@@ -1,0 +1,262 @@
+// Package candidates implements Section 5.2.2, "Finding Path Candidates":
+// for every path in the decomposition it retrieves the initial match set
+// from the path index and prunes it with node-level statistics (neighborhood
+// label counts and full probability upperbounds) and path-level statistics
+// (path-neighborhood upperbounds pu and path-cycle probabilities cpr).
+package candidates
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/pathindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+)
+
+// Candidate is one surviving path match: entity nodes aligned with the query
+// path's positions, plus the stored probability components.
+type Candidate struct {
+	Nodes []entity.ID
+	Prle  float64
+	Prn   float64
+}
+
+// Pr returns the candidate's total path probability.
+func (c Candidate) Pr() float64 { return c.Prle * c.Prn }
+
+// Set is the candidate list cn(P) for one decomposition path.
+type Set struct {
+	Path    *decompose.Path
+	Cands   []Candidate
+	Initial int // |PIndex(lQ(V_P), α)| before pruning
+}
+
+// Stats reports the search-space progression of Figure 7(e).
+type Stats struct {
+	// SSPath is the search space after index lookup only (product of
+	// initial candidate counts).
+	SSPath float64
+	// SSContext is the search space after node- and path-level context
+	// pruning.
+	SSContext float64
+}
+
+// NodeChecker memoizes the node-level candidacy test cn(n) of Section
+// 5.2.2. Safe for concurrent use.
+type NodeChecker struct {
+	g     *entity.Graph
+	ctx   *pathindex.Context
+	q     *query.Query
+	alpha float64
+	// counts[n] = c(n,·) dense by label.
+	counts [][]int
+
+	mu   sync.Mutex
+	memo []map[entity.ID]bool
+}
+
+// NewNodeChecker prepares the per-query-node statistics.
+func NewNodeChecker(g *entity.Graph, ctxInfo *pathindex.Context, q *query.Query, alpha float64) *NodeChecker {
+	nc := &NodeChecker{
+		g:      g,
+		ctx:    ctxInfo,
+		q:      q,
+		alpha:  alpha,
+		counts: make([][]int, q.NumNodes()),
+		memo:   make([]map[entity.ID]bool, q.NumNodes()),
+	}
+	for n := 0; n < q.NumNodes(); n++ {
+		nc.counts[n] = q.NeighborLabelCounts(query.NodeID(n), g.NumLabels())
+		nc.memo[n] = make(map[entity.ID]bool)
+	}
+	return nc
+}
+
+// OK reports whether entity v is a node-level candidate for query node n.
+func (nc *NodeChecker) OK(v entity.ID, n query.NodeID) bool {
+	nc.mu.Lock()
+	res, ok := nc.memo[n][v]
+	nc.mu.Unlock()
+	if ok {
+		return res
+	}
+	res = nc.check(v, n)
+	nc.mu.Lock()
+	nc.memo[n][v] = res
+	nc.mu.Unlock()
+	return res
+}
+
+func (nc *NodeChecker) check(v entity.ID, n query.NodeID) bool {
+	// Label probability must clear the threshold on its own (the σ-loop
+	// below reduces to this when c(n,σ) = 0).
+	lp := nc.g.PrLabel(v, nc.q.Label(n))
+	if lp+1e-12 < nc.alpha {
+		return false
+	}
+	for sigma, need := range nc.counts[n] {
+		if need == 0 {
+			continue
+		}
+		s := prob.LabelID(sigma)
+		// (1) enough neighbors with label σ.
+		if nc.ctx.Card(v, s) < need {
+			return false
+		}
+		// (2) label probability times the σ-neighborhood upperbound raised
+		// to the required neighbor count must clear α.
+		bound := lp
+		f := nc.ctx.FPU(v, s)
+		for i := 0; i < need; i++ {
+			bound *= f
+		}
+		if bound+1e-12 < nc.alpha {
+			return false
+		}
+	}
+	return true
+}
+
+// Find runs the candidate generation stage for every decomposition path.
+func Find(ctx context.Context, ix *pathindex.Index, q *query.Query, dec *decompose.Decomposition, alpha float64, workers int) ([]Set, Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := ix.Graph()
+	nc := NewNodeChecker(g, ix.Context(), q, alpha)
+
+	sets := make([]Set, len(dec.Paths))
+	stats := Stats{SSPath: 1, SSContext: 1}
+	for i := range dec.Paths {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
+		p := &dec.Paths[i]
+		matches, err := ix.Lookup(p.Labels, alpha)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		kept := pruneParallel(g, nc, p, matches, alpha, workers)
+		sets[i] = Set{Path: p, Cands: kept, Initial: len(matches)}
+		stats.SSPath *= float64(len(matches))
+		stats.SSContext *= float64(len(kept))
+	}
+	return sets, stats, nil
+}
+
+func pruneParallel(g *entity.Graph, nc *NodeChecker, p *decompose.Path, matches []pathindex.PathMatch, alpha float64, workers int) []Candidate {
+	if len(matches) == 0 {
+		return nil
+	}
+	if workers > len(matches) {
+		workers = len(matches)
+	}
+	results := make([][]Candidate, workers)
+	var wg sync.WaitGroup
+	chunk := (len(matches) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(matches) {
+			hi = len(matches)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []Candidate
+			for _, m := range matches[lo:hi] {
+				if keepCandidate(g, nc, p, m, alpha) {
+					out = append(out, Candidate{Nodes: m.Nodes, Prle: m.Prle, Prn: m.Prn})
+				}
+			}
+			results[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var kept []Candidate
+	for _, r := range results {
+		kept = append(kept, r...)
+	}
+	return kept
+}
+
+// keepCandidate applies the two path-level tests of Section 5.2.2.
+func keepCandidate(g *entity.Graph, nc *NodeChecker, p *decompose.Path, m pathindex.PathMatch, alpha float64) bool {
+	// (1) every node must be a node-level candidate for its query node.
+	for pos, v := range m.Nodes {
+		if !nc.OK(v, p.Nodes[pos]) {
+			return false
+		}
+	}
+	// (2) (Prle·Prn) · pu · cpr ≥ α.
+	bound := m.Prle * m.Prn
+	if bound+1e-12 < alpha {
+		return false
+	}
+	cpr := pathCyclesProb(g, nc.q, p, m)
+	if cpr == 0 {
+		return false
+	}
+	bound *= cpr
+	if bound+1e-12 < alpha {
+		return false
+	}
+	bound *= neighborhoodUpperbound(nc, p, m)
+	return bound+1e-12 >= alpha
+}
+
+// pathCyclesProb is cpr(Pu): the product of existence probabilities of the
+// query chords instantiated on the candidate path. A missing GU edge yields
+// zero (the structural part of the test).
+func pathCyclesProb(g *entity.Graph, q *query.Query, p *decompose.Path, m pathindex.PathMatch) float64 {
+	pr := 1.0
+	for _, cyc := range p.Info.Cycles {
+		u, v := m.Nodes[cyc[0]], m.Nodes[cyc[1]]
+		ep, ok := g.EdgeBetween(u, v)
+		if !ok {
+			return 0
+		}
+		pr *= ep.Prob(q.Label(p.Nodes[cyc[0]]), q.Label(p.Nodes[cyc[1]]))
+		if pr == 0 {
+			return 0
+		}
+	}
+	return pr
+}
+
+// neighborhoodUpperbound is pu(Pu): for every path neighbor m' ∈ Γ(P), the
+// tightest bound over its reverse path neighbors, combining one full
+// probability upperbound with partial upperbounds for the rest.
+func neighborhoodUpperbound(nc *NodeChecker, p *decompose.Path, m pathindex.PathMatch) float64 {
+	pu := 1.0
+	for _, nb := range p.Info.Neighbors {
+		sigma := nc.q.Label(nb)
+		rv := p.Info.Reverse[nb]
+		best := -1.0
+		for _, nPos := range rv {
+			val := nc.ctx.FPU(m.Nodes[nPos], sigma)
+			for _, oPos := range rv {
+				if oPos == nPos {
+					continue
+				}
+				val *= nc.ctx.PPU(m.Nodes[oPos], sigma)
+			}
+			if best < 0 || val < best {
+				best = val
+			}
+		}
+		if best >= 0 {
+			pu *= best
+			if pu == 0 {
+				return 0
+			}
+		}
+	}
+	return pu
+}

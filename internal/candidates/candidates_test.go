@@ -1,0 +1,186 @@
+package candidates
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/fixtures"
+	"repro/internal/pathindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/refgraph"
+)
+
+func buildIx(t *testing.T, g *entity.Graph, L int, beta float64) *pathindex.Index {
+	t.Helper()
+	ix, err := pathindex.Build(context.Background(), g, pathindex.Options{
+		MaxLen: L, Beta: beta, Gamma: 0.1, Dir: filepath.Join(t.TempDir(), "ix"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+func motivating(t *testing.T) (*entity.Graph, *pathindex.Index, *query.Query) {
+	t.Helper()
+	g, err := fixtures.MotivatingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.01)
+	alpha := g.Alphabet()
+	q := query.New()
+	q1 := q.AddNode(alpha.ID("r"))
+	q2 := q.AddNode(alpha.ID("a"))
+	q3 := q.AddNode(alpha.ID("i"))
+	if err := q.AddEdge(q1, q2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(q2, q3); err != nil {
+		t.Fatal(err)
+	}
+	return g, ix, q
+}
+
+func TestFindMotivating(t *testing.T) {
+	g, ix, q := motivating(t)
+	dec, err := decompose.Decompose(q, ix, decompose.Options{MaxLen: 2, Alpha: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, stats, err := Find(context.Background(), ix, q, dec, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != len(dec.Paths) {
+		t.Fatalf("sets = %d, paths = %d", len(sets), len(dec.Paths))
+	}
+	total := 0
+	for _, s := range sets {
+		total += len(s.Cands)
+		for _, c := range s.Cands {
+			if c.Pr()+1e-9 < 0.2 {
+				t.Errorf("candidate below threshold: %v %v", c.Nodes, c.Pr())
+			}
+			if !g.NodesRefsDisjoint(c.Nodes) {
+				t.Errorf("candidate with shared refs: %v", c.Nodes)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no candidates survived for a satisfiable query")
+	}
+	if stats.SSPath < stats.SSContext {
+		t.Errorf("pruning grew the search space: %v → %v", stats.SSPath, stats.SSContext)
+	}
+}
+
+// Pruning soundness: every node of every true match must survive node-level
+// candidacy, and the matched paths must survive path-level pruning.
+func TestPruningSound(t *testing.T) {
+	g, ix, q := motivating(t)
+	nc := NewNodeChecker(g, ix.Context(), q, 0.2)
+	// (s34, s2, s1) is the unique match at α=0.2.
+	match := []entity.ID{fixtures.S34, fixtures.S2, fixtures.S1}
+	for pos, v := range match {
+		if !nc.OK(v, query.NodeID(pos)) {
+			t.Errorf("node-level pruning rejected true match node %d at position %d", v, pos)
+		}
+	}
+}
+
+func TestNodeCheckerCardinality(t *testing.T) {
+	// A query node with two b-neighbors only matches entities with ≥ 2
+	// b-labeled GU neighbors.
+	alpha := prob.MustAlphabet("a", "b")
+	d := refgraph.New(alpha)
+	hub := d.AddReference(prob.Point(0))
+	leaf1 := d.AddReference(prob.Point(1))
+	leaf2 := d.AddReference(prob.Point(1))
+	poor := d.AddReference(prob.Point(0))
+	leaf3 := d.AddReference(prob.Point(1))
+	for _, e := range [][2]refgraph.RefID{{hub, leaf1}, {hub, leaf2}, {poor, leaf3}} {
+		if err := d.AddEdge(e[0], e[1], refgraph.EdgeDist{P: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 1, 0.1)
+
+	q := query.New()
+	center := q.AddNode(0)
+	b1 := q.AddNode(1)
+	b2 := q.AddNode(1)
+	if err := q.AddEdge(center, b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(center, b2); err != nil {
+		t.Fatal(err)
+	}
+	nc := NewNodeChecker(g, ix.Context(), q, 0.5)
+	if !nc.OK(entity.ID(hub), center) {
+		t.Error("hub rejected despite sufficient b-neighbors")
+	}
+	if nc.OK(entity.ID(poor), center) {
+		t.Error("poor node accepted with c(v,b)=1 < c(n,b)=2")
+	}
+	// Memoization returns the same answer.
+	if !nc.OK(entity.ID(hub), center) {
+		t.Error("memoized result differs")
+	}
+}
+
+func TestPathCyclePruning(t *testing.T) {
+	// Triangle query over a graph that has a 3-path but no closing edge:
+	// cpr = 0 must prune the candidate.
+	alpha := prob.MustAlphabet("a", "b", "c")
+	d := refgraph.New(alpha)
+	na := d.AddReference(prob.Point(0))
+	nb := d.AddReference(prob.Point(1))
+	nc := d.AddReference(prob.Point(2))
+	if err := d.AddEdge(na, nb, refgraph.EdgeDist{P: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(nb, nc, refgraph.EdgeDist{P: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// No edge a–c.
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.1)
+
+	q := query.New()
+	qa := q.AddNode(0)
+	qb := q.AddNode(1)
+	qc := q.AddNode(2)
+	for _, e := range [][2]query.NodeID{{qa, qb}, {qb, qc}, {qa, qc}} {
+		if err := q.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := decompose.Decompose(q, ix, decompose.Options{MaxLen: 2, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, _, err := Find(context.Background(), ix, q, dec, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any 2-edge path in the decomposition has a chord; its (a,b,c)
+	// candidate must be pruned by cpr = 0.
+	for _, s := range sets {
+		if len(s.Path.Info.Cycles) > 0 && len(s.Cands) != 0 {
+			t.Errorf("chord-bearing path kept candidates: %+v", s.Cands)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Package core orchestrates the online phase of the paper (Section 5.2):
+// query path decomposition, candidate retrieval and context pruning,
+// join-candidate construction, joint search space reduction on the candidate
+// k-partite graph, and final match assembly. It also exposes the paper's
+// evaluation baselines (random decomposition, no search-space reduction) and
+// the per-stage search-space statistics behind Figures 7(e) and 7(f).
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/decompose"
+	"repro/internal/join"
+	"repro/internal/kpartite"
+	"repro/internal/pathindex"
+	"repro/internal/query"
+)
+
+// Strategy selects the matching variant of Section 6.2.1.
+type Strategy int
+
+const (
+	// StrategyOptimized is the full proposed approach.
+	StrategyOptimized Strategy = iota
+	// StrategyRandomDecomp replaces SET COVER with random decomposition and
+	// orders joins by candidate count only.
+	StrategyRandomDecomp
+	// StrategyNoSSReduction skips the joint search space reduction and goes
+	// straight from candidate lists to result generation.
+	StrategyNoSSReduction
+)
+
+// String implements fmt.Stringer for benchmark labels.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyOptimized:
+		return "Optimized"
+	case StrategyRandomDecomp:
+		return "RandomDecomp"
+	case StrategyNoSSReduction:
+		return "NoSSReduction"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options configures a match run.
+type Options struct {
+	// Alpha is the query probability threshold α.
+	Alpha float64
+	// Strategy selects the variant (default StrategyOptimized).
+	Strategy Strategy
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxLen caps decomposition path length; 0 uses the index's L.
+	MaxLen int
+	// Rand seeds the random decomposition baseline (nil = deterministic).
+	Rand *rand.Rand
+}
+
+// Stats reports per-stage behaviour of one match run.
+type Stats struct {
+	// NumPaths is the decomposition size k.
+	NumPaths int
+	// SSPath, SSContext, SSAfterStructure, SSFinal are the search space
+	// sizes (product of candidate list lengths) after index lookup, after
+	// context pruning, after reduction by structure, and after the full
+	// reduction — the progression of Figure 7(e).
+	SSPath           float64
+	SSContext        float64
+	SSAfterStructure float64
+	SSFinal          float64
+	// ReductionRounds counts upperbound message-passing rounds.
+	ReductionRounds int
+	// Per-stage wall clock.
+	DecomposeTime time.Duration
+	CandidateTime time.Duration
+	BuildTime     time.Duration
+	ReduceTime    time.Duration
+	JoinTime      time.Duration
+	Total         time.Duration
+}
+
+// Result is the outcome of a match run.
+type Result struct {
+	Matches []join.Match
+	Stats   Stats
+}
+
+// Match answers a probabilistic subgraph pattern matching query
+// (Definition 5) over the graph behind the given index: all matches M with
+// Pr(M) ≥ α, together with per-stage statistics.
+func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options) (*Result, error) {
+	start := time.Now()
+	if opt.Alpha <= 0 || opt.Alpha > 1 {
+		return nil, fmt.Errorf("core: alpha %v out of range (0,1]", opt.Alpha)
+	}
+	g := ix.Graph()
+	if err := q.Validate(g.Alphabet()); err != nil {
+		return nil, err
+	}
+	maxLen := opt.MaxLen
+	if maxLen <= 0 {
+		maxLen = ix.MaxLen()
+	}
+
+	var st Stats
+
+	// 1. Path decomposition (Section 5.2.1).
+	t0 := time.Now()
+	mode := decompose.ModeOptimized
+	if opt.Strategy == StrategyRandomDecomp {
+		mode = decompose.ModeRandom
+	}
+	dec, err := decompose.Decompose(q, ix, decompose.Options{
+		MaxLen: maxLen,
+		Alpha:  opt.Alpha,
+		Mode:   mode,
+		Rand:   opt.Rand,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.NumPaths = len(dec.Paths)
+	st.DecomposeTime = time.Since(t0)
+
+	// 2. Path candidates with context pruning (Section 5.2.2).
+	t0 = time.Now()
+	sets, cstats, err := candidates.Find(ctx, ix, q, dec, opt.Alpha, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	st.SSPath = cstats.SSPath
+	st.SSContext = cstats.SSContext
+	st.CandidateTime = time.Since(t0)
+
+	// 3. Join-candidates / k-partite graph (Section 5.2.3).
+	t0 = time.Now()
+	kg, err := kpartite.Build(ctx, g, q, dec, sets, opt.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	st.BuildTime = time.Since(t0)
+
+	// 4. Joint search space reduction (Section 5.2.4).
+	t0 = time.Now()
+	switch opt.Strategy {
+	case StrategyNoSSReduction:
+		st.SSAfterStructure = kg.SearchSpace()
+		st.SSFinal = st.SSAfterStructure
+	default:
+		rst, err := kg.Reduce(ctx, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		st.SSAfterStructure = rst.SSAfterStructure
+		st.SSFinal = rst.SSAfterUpperbound
+		st.ReductionRounds = rst.Rounds
+	}
+	st.ReduceTime = time.Since(t0)
+
+	// 5. Final match generation (Section 5.2.5).
+	t0 = time.Now()
+	orderMode := join.OrderHeuristic
+	if opt.Strategy == StrategyRandomDecomp {
+		orderMode = join.OrderByCardinality
+	}
+	order := join.Order(dec, orderMode)
+	matches, err := join.FindMatches(ctx, g, q, dec, kg, order, opt.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	st.JoinTime = time.Since(t0)
+	st.Total = time.Since(start)
+
+	sortMatches(matches)
+	return &Result{Matches: matches, Stats: st}, nil
+}
+
+// ReductionStats isolates the joint search-space reduction for the Figure
+// 7(f) ablation: it runs decomposition, candidate generation, and k-partite
+// construction, then measures reduction by structure alone and the full
+// interleaved reduction.
+type ReductionStats struct {
+	SSBefore          float64
+	SSAfterStructure  float64
+	SSAfterUpperbound float64
+}
+
+// ProbeReduction runs the pipeline up to and including the joint reduction
+// and reports the per-method search-space sizes.
+func ProbeReduction(ctx context.Context, ix *pathindex.Index, q *query.Query, alpha float64, workers int) (ReductionStats, error) {
+	g := ix.Graph()
+	dec, err := decompose.Decompose(q, ix, decompose.Options{
+		MaxLen: ix.MaxLen(), Alpha: alpha, Mode: decompose.ModeOptimized,
+	})
+	if err != nil {
+		return ReductionStats{}, err
+	}
+	sets, _, err := candidates.Find(ctx, ix, q, dec, alpha, workers)
+	if err != nil {
+		return ReductionStats{}, err
+	}
+	kg, err := kpartite.Build(ctx, g, q, dec, sets, alpha)
+	if err != nil {
+		return ReductionStats{}, err
+	}
+	rst, err := kg.Reduce(ctx, workers)
+	if err != nil {
+		return ReductionStats{}, err
+	}
+	return ReductionStats{
+		SSBefore:          rst.SSBefore,
+		SSAfterStructure:  rst.SSAfterStructure,
+		SSAfterUpperbound: rst.SSAfterUpperbound,
+	}, nil
+}
+
+// sortMatches orders matches by mapping for deterministic output.
+func sortMatches(ms []join.Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i].Mapping, ms[j].Mapping
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

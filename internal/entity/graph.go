@@ -1,0 +1,230 @@
+package entity
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/prob"
+	"repro/internal/refgraph"
+)
+
+// Component is one connected component of the identity Markov network: a
+// maximal group of entities linked by shared references. Its Configs are the
+// legal configurations with their normalized probabilities (Eq. 7).
+type Component struct {
+	Members []ID // sorted entity ids; bit i of a Config mask = Members[i]
+	Configs []Config
+
+	mu   sync.Mutex
+	memo map[uint64]float64
+}
+
+// MarginalAll returns Pr(all entities in mask exist): the sum of the
+// probabilities of configurations whose mask is a superset of mask. Results
+// are memoized; the method is safe for concurrent use.
+func (c *Component) MarginalAll(mask uint64) float64 {
+	if mask == 0 {
+		return 1
+	}
+	c.mu.Lock()
+	if p, ok := c.memo[mask]; ok {
+		c.mu.Unlock()
+		return p
+	}
+	p := 0.0
+	for _, cfg := range c.Configs {
+		if cfg.Mask&mask == mask {
+			p += cfg.P
+		}
+	}
+	if c.memo == nil {
+		c.memo = make(map[uint64]float64)
+	}
+	c.memo[mask] = p
+	c.mu.Unlock()
+	return p
+}
+
+// Alphabet returns the label alphabet of the graph.
+func (g *Graph) Alphabet() *prob.Alphabet { return g.alpha }
+
+// NumLabels returns |Σ|.
+func (g *Graph) NumLabels() int { return g.alpha.Len() }
+
+// NumNodes returns the number of entity nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of (undirected) GU edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nbs := range g.adj {
+		n += len(nbs)
+	}
+	return n / 2
+}
+
+// Node returns the entity node v.
+func (g *Graph) Node(v ID) *Node { return &g.nodes[v] }
+
+// Refs returns the member references of entity v.
+func (g *Graph) Refs(v ID) []refgraph.RefID { return g.nodes[v].Refs }
+
+// Labels returns L(v): the labels of v with non-zero probability.
+func (g *Graph) Labels(v ID) []prob.LabelID { return g.nodes[v].Label.Support() }
+
+// PrLabel returns Pr(v.l = l), the node label factor of Eq. 2.
+func (g *Graph) PrLabel(v ID, l prob.LabelID) float64 { return g.nodes[v].Label.P(l) }
+
+// HasLabel reports whether l ∈ L(v).
+func (g *Graph) HasLabel(v ID, l prob.LabelID) bool { return g.nodes[v].Label.P(l) > 0 }
+
+// Exist returns the marginal existence probability Pr(v.n = T).
+func (g *Graph) Exist(v ID) float64 { return g.nodes[v].Exist }
+
+// Neighbors returns the adjacency list of v, sorted by neighbor id. The
+// returned slice must not be modified.
+func (g *Graph) Neighbors(v ID) []Neighbor { return g.adj[v] }
+
+// Degree returns the number of GU neighbors of v.
+func (g *Graph) Degree(v ID) int { return len(g.adj[v]) }
+
+// EdgeBetween returns the edge between a and b, if any.
+func (g *Graph) EdgeBetween(a, b ID) (*EdgeProb, bool) {
+	nbs := g.adj[a]
+	i := sort.Search(len(nbs), func(i int) bool { return nbs[i].To >= b })
+	if i < len(nbs) && nbs[i].To == b {
+		return nbs[i].E, true
+	}
+	return nil, false
+}
+
+// RefsOverlap reports whether entities a and b share a reference, in which
+// case they can never coexist in a legal possible world.
+func (g *Graph) RefsOverlap(a, b ID) bool {
+	return g.refsOverlapSlices(g.nodes[a].Refs, g.nodes[b].Refs)
+}
+
+// NumComponents returns the number of identity components.
+func (g *Graph) NumComponents() int { return len(g.comps) }
+
+// ComponentOf returns the identity component containing v.
+func (g *Graph) ComponentOf(v ID) *Component { return g.comps[g.nodes[v].Comp] }
+
+// Component returns the i-th identity component.
+func (g *Graph) Component(i int) *Component { return g.comps[i] }
+
+// Semantics returns the identity semantics the graph was built with.
+func (g *Graph) Semantics() Semantics { return g.sem }
+
+// Prn computes the identity-existence marginal Pr(V.n = T) for a set of
+// entity nodes (Eq. 12): nodes are grouped by component and the per-component
+// subset marginals are multiplied. Duplicate ids are harmless. Returns 0 when
+// two nodes share a reference (no legal world contains both).
+func (g *Graph) Prn(nodes []ID) float64 {
+	switch len(nodes) {
+	case 0:
+		return 1
+	case 1:
+		return g.nodes[nodes[0]].Exist
+	}
+	// Small-n path: accumulate per-component masks without allocation for
+	// the common case of short paths.
+	type cm struct {
+		comp int32
+		mask uint64
+	}
+	var buf [8]cm
+	masks := buf[:0]
+	for _, v := range nodes {
+		nd := &g.nodes[v]
+		bit := uint64(1) << nd.CompPos
+		found := false
+		for i := range masks {
+			if masks[i].comp == nd.Comp {
+				masks[i].mask |= bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			masks = append(masks, cm{comp: nd.Comp, mask: bit})
+		}
+	}
+	p := 1.0
+	for _, m := range masks {
+		p *= g.comps[m.comp].MarginalAll(m.mask)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// PrnPair is Prn for exactly two nodes, avoiding slice allocation on the
+// hottest candidate-pruning path.
+func (g *Graph) PrnPair(a, b ID) float64 {
+	na, nb := &g.nodes[a], &g.nodes[b]
+	if na.Comp != nb.Comp {
+		return na.Exist * nb.Exist
+	}
+	mask := uint64(1)<<na.CompPos | uint64(1)<<nb.CompPos
+	return g.comps[na.Comp].MarginalAll(mask)
+}
+
+// Assignment is a labeled subgraph over GU: nodes with assigned labels plus
+// edges, as used for Prle (Eq. 13).
+type Assignment struct {
+	Nodes  []ID
+	Labels []prob.LabelID // parallel to Nodes
+	Edges  [][2]int       // index pairs into Nodes
+}
+
+// Prle computes the label/edge probability component of Eq. 13 for an
+// assignment: the product of node label probabilities and edge existence
+// probabilities (conditional on the assigned labels for CPT edges).
+// Returns 0 when a required edge is absent from GU.
+func (g *Graph) Prle(a Assignment) float64 {
+	p := 1.0
+	for i, v := range a.Nodes {
+		p *= g.PrLabel(v, a.Labels[i])
+		if p == 0 {
+			return 0
+		}
+	}
+	for _, e := range a.Edges {
+		u, v := a.Nodes[e[0]], a.Nodes[e[1]]
+		ep, ok := g.EdgeBetween(u, v)
+		if !ok {
+			return 0
+		}
+		p *= ep.Prob(a.Labels[e[0]], a.Labels[e[1]])
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// PrMatch is Pr(M) = Prn(M) · Prle(M) (Eq. 11) for an assignment.
+func (g *Graph) PrMatch(a Assignment) float64 {
+	le := g.Prle(a)
+	if le == 0 {
+		return 0
+	}
+	return le * g.Prn(a.Nodes)
+}
+
+// NodesRefsDisjoint reports whether all nodes have pairwise disjoint
+// reference sets (the legality requirement of Definition 4).
+func (g *Graph) NodesRefsDisjoint(nodes []ID) bool {
+	seen := make(map[refgraph.RefID]struct{}, len(nodes)*2)
+	for _, v := range nodes {
+		for _, r := range g.nodes[v].Refs {
+			if _, dup := seen[r]; dup {
+				return false
+			}
+			seen[r] = struct{}{}
+		}
+	}
+	return true
+}

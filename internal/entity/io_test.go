@@ -1,0 +1,70 @@
+package entity_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/entity"
+	"repro/internal/fixtures"
+	"repro/internal/prob"
+)
+
+func TestSaveLoadMotivating(t *testing.T) {
+	g := buildMotivating(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := entity.Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() || got.NumComponents() != g.NumComponents() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			got.NumNodes(), got.NumEdges(), got.NumComponents(),
+			g.NumNodes(), g.NumEdges(), g.NumComponents())
+	}
+	// Probabilities survive exactly.
+	alpha := g.Alphabet()
+	r, a, i := alpha.ID("r"), alpha.ID("a"), alpha.ID("i")
+	asn := entity.Assignment{
+		Nodes:  []entity.ID{fixtures.S34, fixtures.S2, fixtures.S1},
+		Labels: []prob.LabelID{r, a, i},
+		Edges:  [][2]int{{0, 1}, {1, 2}},
+	}
+	if p := got.PrMatch(asn); math.Abs(p-0.2025) > 1e-12 {
+		t.Errorf("PrMatch after reload = %v, want 0.2025", p)
+	}
+	if p := got.Exist(fixtures.S34); math.Abs(p-0.8) > 1e-12 {
+		t.Errorf("Exist(s34) after reload = %v", p)
+	}
+	if got.Semantics() != g.Semantics() {
+		t.Error("semantics lost")
+	}
+	if got.Alphabet().Name(2) != "i" {
+		t.Errorf("alphabet lost: %v", got.Alphabet().Names())
+	}
+	// Adjacency intact (sorted, with edge probabilities).
+	ep, ok := got.EdgeBetween(fixtures.S34, fixtures.S2)
+	if !ok || math.Abs(ep.Prob(r, a)-0.75) > 1e-12 {
+		t.Errorf("merged edge after reload: %v %v", ep, ok)
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	g := buildMotivating(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := entity.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	for _, n := range []int{0, 4, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := entity.Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncated snapshot (%d bytes) accepted", n)
+		}
+	}
+}

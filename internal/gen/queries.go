@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/prob"
+	"repro/internal/query"
+)
+
+// RandomQuery generates a connected query q(n,m) with n nodes and m edges
+// and random labels, as used throughout Section 6.2: a random spanning tree
+// plus random extra edges. m is clamped to [n-1, n(n-1)/2].
+func RandomQuery(rng *rand.Rand, nLabels, n, m int) (*query.Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gen: query needs at least 1 node")
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	if m < n-1 {
+		m = n - 1
+	}
+	q := query.New()
+	for i := 0; i < n; i++ {
+		q.AddNode(prob.LabelID(rng.Intn(nLabels)))
+	}
+	// Spanning tree.
+	for i := 1; i < n; i++ {
+		if err := q.AddEdge(query.NodeID(rng.Intn(i)), query.NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	// Extra edges.
+	for q.NumEdges() < m {
+		a := query.NodeID(rng.Intn(n))
+		b := query.NodeID(rng.Intn(n))
+		if a == b || q.HasEdge(a, b) {
+			continue
+		}
+		if err := q.AddEdge(a, b); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// CycleQuery generates an n-node cycle with random labels — the query shape
+// of the Figure 7(f) reduction experiment.
+func CycleQuery(rng *rand.Rand, nLabels, n int) (*query.Query, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: cycle needs at least 3 nodes")
+	}
+	q := query.New()
+	for i := 0; i < n; i++ {
+		q.AddNode(prob.LabelID(rng.Intn(nLabels)))
+	}
+	for i := 0; i < n; i++ {
+		if err := q.AddEdge(query.NodeID(i), query.NodeID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// Pattern identifies one of the Figure 8 real-world pattern queries.
+type Pattern string
+
+// The five patterns of Figure 8.
+const (
+	BF1 Pattern = "BF1" // butterfly: two triangles sharing a node
+	BF2 Pattern = "BF2" // double butterfly: two triangles joined by a bridge
+	GR  Pattern = "GR"  // group: a 4-clique with a pendant
+	ST  Pattern = "ST"  // star: a center with four leaves
+	TR  Pattern = "TR"  // tree: a depth-2 binary tree
+)
+
+// Patterns lists the Figure 8 patterns in the paper's order.
+func Patterns() []Pattern { return []Pattern{BF1, BF2, GR, ST, TR} }
+
+// patternEdges reconstructs the Figure 8 shapes (the figure is schematic;
+// the node and edge counts follow its drawings).
+func patternEdges(p Pattern) ([][2]int, int, error) {
+	switch p {
+	case BF1:
+		return [][2]int{{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}}, 5, nil
+	case BF2:
+		return [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}, {5, 3}}, 6, nil
+	case GR:
+		return [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}}, 5, nil
+	case ST:
+		return [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, 5, nil
+	case TR:
+		return [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}}, 7, nil
+	}
+	return nil, 0, fmt.Errorf("gen: unknown pattern %q", p)
+}
+
+// PatternQuery builds a Figure 8 pattern with the given per-node labels
+// (len must equal the pattern's node count).
+func PatternQuery(p Pattern, labels []prob.LabelID) (*query.Query, error) {
+	edges, n, err := patternEdges(p)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != n {
+		return nil, fmt.Errorf("gen: pattern %s needs %d labels, got %d", p, n, len(labels))
+	}
+	q := query.New()
+	for _, l := range labels {
+		q.AddNode(l)
+	}
+	for _, e := range edges {
+		if err := q.AddEdge(query.NodeID(e[0]), query.NodeID(e[1])); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// PatternQueryRandomLabels builds a Figure 8 pattern with random labels, as
+// the IMDB experiment does (same label for all nodes) or mixed (DBLP-style).
+func PatternQueryRandomLabels(p Pattern, rng *rand.Rand, nLabels int, uniform bool) (*query.Query, error) {
+	_, n, err := patternEdges(p)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]prob.LabelID, n)
+	if uniform {
+		l := prob.LabelID(rng.Intn(nLabels))
+		for i := range labels {
+			labels[i] = l
+		}
+	} else {
+		for i := range labels {
+			labels[i] = prob.LabelID(rng.Intn(nLabels))
+		}
+	}
+	return PatternQuery(p, labels)
+}
+
+// PatternSize returns the node and edge counts of a pattern.
+func PatternSize(p Pattern) (nodes, edges int, err error) {
+	es, n, err := patternEdges(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, len(es), nil
+}

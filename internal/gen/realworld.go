@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/prob"
+	"repro/internal/refgraph"
+)
+
+// DBLPOptions scales the Section 6.3 DBLP stand-in. The paper's graph has
+// 16.8k authors and 40.3k collaboration edges (≈2.4 edges/author); defaults
+// reproduce the recipe at configurable size.
+type DBLPOptions struct {
+	Authors int
+	Seed    int64
+}
+
+// DBLPAlphabet returns the three research areas of the DBLP experiment.
+func DBLPAlphabet() *prob.Alphabet {
+	return prob.MustAlphabet("DB", "ML", "SE")
+}
+
+// DBLP synthesizes the author-collaboration network of Section 6.3:
+//
+//   - every author has a probability distribution over research areas,
+//     derived (here: sampled) from relative conference contributions;
+//   - collaboration edges get a base probability in [0.5, 1] from the
+//     collaboration count, made label-conditional: same area → p,
+//     different areas → 0.8·p (the paper's CPT);
+//   - reference sets model name similarity: pairs of authors with
+//     similarity above 0.9 — here a sampled fraction of pairs — merged with
+//     high probability.
+func DBLP(opt DBLPOptions) (*refgraph.PGD, error) {
+	if opt.Authors < 10 {
+		return nil, fmt.Errorf("gen: DBLP needs ≥ 10 authors")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	alpha := DBLPAlphabet()
+	nl := alpha.Len()
+	d := refgraph.New(alpha)
+
+	// Interest distributions: most authors concentrate on one area (their
+	// home conference cluster), with smaller relative contributions
+	// elsewhere — a Dirichlet-ish draw sharpened toward one area.
+	for i := 0; i < opt.Authors; i++ {
+		d.AddReference(interestDist(rng, nl))
+	}
+
+	// Collaboration structure by preferential attachment (~2.4 edges per
+	// author like the paper's extraction) with the conditional CPT.
+	m := 2
+	targets := make([]refgraph.RefID, 0, opt.Authors*2*m)
+	addCollab := func(a, b refgraph.RefID) {
+		// Base probability between 0.5 and 1 depending on the number of
+		// collaborations (sampled 1..8, saturating).
+		collabs := 1 + rng.Intn(8)
+		base := 0.5 + 0.5*(1-math.Exp(-float64(collabs)/3))
+		if base > 1 {
+			base = 1
+		}
+		cpt := make([]float64, nl*nl)
+		for i := 0; i < nl; i++ {
+			for j := 0; j < nl; j++ {
+				if i == j {
+					cpt[i*nl+j] = base
+				} else {
+					cpt[i*nl+j] = 0.8 * base
+				}
+			}
+		}
+		_ = d.AddEdge(a, b, refgraph.EdgeDist{P: base, CPT: cpt})
+	}
+	addCollab(0, 1)
+	targets = append(targets, 0, 1)
+	for i := 2; i < opt.Authors; i++ {
+		v := refgraph.RefID(i)
+		for e := 0; e < m; e++ {
+			to := targets[rng.Intn(len(targets))]
+			if to == v {
+				to = refgraph.RefID(rng.Intn(i))
+				if to == v {
+					continue
+				}
+			}
+			addCollab(v, to)
+			targets = append(targets, v, to)
+		}
+	}
+
+	// Name-similarity reference sets: ~1 per 100 authors, high merge
+	// probability (similar names usually are the same person).
+	nSets := opt.Authors / 100
+	if nSets < 1 {
+		nSets = 1
+	}
+	for s := 0; s < nSets; s++ {
+		a := refgraph.RefID(rng.Intn(opt.Authors))
+		b := refgraph.RefID(rng.Intn(opt.Authors))
+		if a == b {
+			continue
+		}
+		if _, err := d.AddReferenceSet([]refgraph.RefID{a, b}, 0.7+0.3*rng.Float64()); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// interestDist samples an author's research-area distribution: a dominant
+// home area with probabilistic spillover.
+func interestDist(rng *rand.Rand, nLabels int) prob.Dist {
+	home := rng.Intn(nLabels)
+	if rng.Float64() < 0.5 {
+		return prob.Point(prob.LabelID(home))
+	}
+	weights := make([]float64, nLabels)
+	sum := 0.0
+	for i := range weights {
+		w := rng.Float64() * 0.3
+		if i == home {
+			w = 1 + rng.Float64()
+		}
+		weights[i] = w
+		sum += w
+	}
+	entries := make([]prob.LabelProb, 0, nLabels)
+	for i, w := range weights {
+		if w/sum > 1e-9 {
+			entries = append(entries, prob.LabelProb{Label: prob.LabelID(i), P: w / sum})
+		}
+	}
+	return prob.MustDist(entries...)
+}
+
+// IMDBOptions scales the Section 6.3 IMDB stand-in. The paper's co-starring
+// graph has 90,612 actors and 936,308 edges (≈10 edges/actor).
+type IMDBOptions struct {
+	Actors int
+	Seed   int64
+}
+
+// IMDBAlphabet returns the four movie genres of the IMDB experiment.
+func IMDBAlphabet() *prob.Alphabet {
+	return prob.MustAlphabet("Drama", "Comedy", "Family", "Action")
+}
+
+// IMDB synthesizes the co-starring network of Section 6.3: genre
+// distributions from the movies an actor appears in, independent
+// co-starring edge probabilities from co-star counts, and name-similarity
+// reference sets for duplicates/misspellings.
+func IMDB(opt IMDBOptions) (*refgraph.PGD, error) {
+	if opt.Actors < 10 {
+		return nil, fmt.Errorf("gen: IMDB needs ≥ 10 actors")
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	alpha := IMDBAlphabet()
+	nl := alpha.Len()
+	d := refgraph.New(alpha)
+
+	// Genre distributions are concentrated: most actors are dominated by
+	// one genre (the distribution over movie genres an actor participates
+	// in is highly skewed).
+	for i := 0; i < opt.Actors; i++ {
+		d.AddReference(interestDist(rng, nl))
+	}
+
+	// Denser co-starring structure (~5 edges per actor at our scale).
+	m := 5
+	targets := make([]refgraph.RefID, 0, opt.Actors*2*m)
+	addCostar := func(a, b refgraph.RefID) {
+		costars := 1 + rng.Intn(10)
+		p := 1 - math.Exp(-float64(costars)/4)
+		if p < 0.2 {
+			p = 0.2
+		}
+		_ = d.AddEdge(a, b, refgraph.EdgeDist{P: p})
+	}
+	addCostar(0, 1)
+	targets = append(targets, 0, 1)
+	for i := 2; i < opt.Actors; i++ {
+		v := refgraph.RefID(i)
+		for e := 0; e < m; e++ {
+			to := targets[rng.Intn(len(targets))]
+			if to == v {
+				to = refgraph.RefID(rng.Intn(i))
+				if to == v {
+					continue
+				}
+			}
+			addCostar(v, to)
+			targets = append(targets, v, to)
+		}
+	}
+
+	// Duplicate/misspelled actor names.
+	nSets := opt.Actors / 80
+	if nSets < 1 {
+		nSets = 1
+	}
+	for s := 0; s < nSets; s++ {
+		a := refgraph.RefID(rng.Intn(opt.Actors))
+		b := refgraph.RefID(rng.Intn(opt.Actors))
+		if a == b {
+			continue
+		}
+		if _, err := d.AddReferenceSet([]refgraph.RefID{a, b}, 0.6+0.4*rng.Float64()); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,318 @@
+// Package join implements Section 5.2.5, "Finding Full Query Matches": the
+// join-order heuristic and the incremental extension of partial matches
+// along the reduced candidate k-partite graph, with exact final probability
+// and reference-disjointness checks.
+package join
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/kpartite"
+	"repro/internal/query"
+	"repro/internal/refgraph"
+)
+
+// Match is a full query match: the mapping ψ from query nodes to entities
+// and the probability components of Eq. 11.
+type Match struct {
+	Mapping []entity.ID // indexed by query node id
+	Prle    float64
+	Prn     float64
+}
+
+// Pr returns Pr(M) = Prle · Prn.
+func (m Match) Pr() float64 { return m.Prle * m.Prn }
+
+// OrderMode selects the join-order heuristic.
+type OrderMode int
+
+const (
+	// OrderHeuristic is the paper's three-tier rule: most node overlap with
+	// the ordered prefix, then most join predicates, then smallest
+	// cardinality.
+	OrderHeuristic OrderMode = iota
+	// OrderByCardinality sorts by estimated cardinality only — the ordering
+	// used by the Random decomposition baseline.
+	OrderByCardinality
+)
+
+// Order returns a join order over the decomposition's partitions.
+func Order(dec *decompose.Decomposition, mode OrderMode) []int {
+	k := len(dec.Paths)
+	if k == 0 {
+		return nil
+	}
+	if mode == OrderByCardinality {
+		order := make([]int, k)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return dec.Paths[order[a]].Card < dec.Paths[order[b]].Card
+		})
+		return order
+	}
+
+	used := make([]bool, k)
+	inOrder := make(map[query.NodeID]bool)
+	var order []int
+	for len(order) < k {
+		best, bestOverlap, bestPreds := -1, -1, -1
+		bestCard := 0.0
+		for p := 0; p < k; p++ {
+			if used[p] {
+				continue
+			}
+			overlap := 0
+			for _, n := range dec.Paths[p].Nodes {
+				if inOrder[n] {
+					overlap++
+				}
+			}
+			preds := 0
+			for _, o := range order {
+				preds += len(dec.Preds(p, o))
+			}
+			card := dec.Paths[p].Card
+			better := false
+			switch {
+			case overlap > bestOverlap:
+				better = true
+			case overlap == bestOverlap && preds > bestPreds:
+				better = true
+			case overlap == bestOverlap && preds == bestPreds && (best < 0 || card < bestCard):
+				better = true
+			}
+			if better {
+				best, bestOverlap, bestPreds, bestCard = p, overlap, preds, card
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, n := range dec.Paths[best].Nodes {
+			inOrder[n] = true
+		}
+	}
+	return order
+}
+
+// partial is a match under construction.
+type partial struct {
+	verts []int32 // chosen vertex per ordered prefix position
+	asn   map[query.NodeID]entity.ID
+}
+
+// FindMatches enumerates all full matches with Pr(M) ≥ alpha from the
+// (possibly reduced) k-partite graph.
+func FindMatches(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, alpha float64) ([]Match, error) {
+	if len(order) == 0 {
+		return nil, nil
+	}
+	// Seed with the first partition's alive vertices.
+	first := order[0]
+	var partials []partial
+	for _, fi := range kg.AliveVertices(first) {
+		i := int(fi)
+		c := kg.Candidate(first, i)
+		asn := make(map[query.NodeID]entity.ID, q.NumNodes())
+		for pos, qn := range dec.Paths[first].Nodes {
+			asn[qn] = c.Nodes[pos]
+		}
+		partials = append(partials, partial{verts: []int32{int32(i)}, asn: asn})
+	}
+
+	for step := 1; step < len(order); step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b := order[step]
+		// Earlier ordered paths that join with b, with their order position.
+		type joined struct{ part, pos int }
+		var js []joined
+		for pos := 0; pos < step; pos++ {
+			if len(dec.Preds(order[pos], b)) > 0 {
+				js = append(js, joined{order[pos], pos})
+			}
+		}
+		var next []partial
+		for pi, pm := range partials {
+			if pi%1024 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			candIdxs := kg.AliveVertices(b)
+			if len(js) > 0 {
+				// Intersect the link lists from each joined chosen vertex.
+				candIdxs = kg.LinkedAlive(js[0].part, int(pm.verts[js[0].pos]), b)
+				for _, jd := range js[1:] {
+					candIdxs = intersectLinks(candIdxs, kg.Links(jd.part, int(pm.verts[jd.pos]), b))
+					if len(candIdxs) == 0 {
+						break
+					}
+				}
+			}
+			for _, ci := range candIdxs {
+				if !kg.Alive(b, int(ci)) {
+					continue
+				}
+				np, ok := extend(g, q, dec, kg, pm, b, int(ci), alpha, order[:step+1])
+				if ok {
+					next = append(next, np)
+				}
+			}
+		}
+		partials = next
+		if len(partials) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Final exact filter over the complete assignment.
+	var out []Match
+	for _, pm := range partials {
+		m, ok := finalize(g, q, pm.asn, alpha)
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// extend adds partition b's candidate ci to the partial, checking assignment
+// consistency, reference disjointness, and the partial probability bound.
+func extend(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, pm partial, b, ci int, alpha float64, prefix []int) (partial, bool) {
+	c := kg.Candidate(b, ci)
+	path := dec.Paths[b]
+	asn := make(map[query.NodeID]entity.ID, len(pm.asn)+len(path.Nodes))
+	for k, v := range pm.asn {
+		asn[k] = v
+	}
+	for pos, qn := range path.Nodes {
+		if v, ok := asn[qn]; ok {
+			if v != c.Nodes[pos] {
+				return partial{}, false
+			}
+			continue
+		}
+		asn[qn] = c.Nodes[pos]
+	}
+	if !assignmentRefsDisjoint(g, asn) {
+		return partial{}, false
+	}
+	// Partial probability upper-bounds the final match probability: prune
+	// extensions already below α (Section 5.2.5).
+	if partialPr(g, q, dec, asn, prefix)+1e-12 < alpha {
+		return partial{}, false
+	}
+	verts := make([]int32, len(pm.verts)+1)
+	copy(verts, pm.verts)
+	verts[len(pm.verts)] = int32(ci)
+	return partial{verts: verts, asn: asn}, true
+}
+
+// partialPr computes the probability of the union subgraph covered by the
+// ordered prefix of paths.
+func partialPr(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, asn map[query.NodeID]entity.ID, prefix []int) float64 {
+	prle := 1.0
+	nodes := make([]entity.ID, 0, len(asn))
+	for qn, v := range asn {
+		prle *= g.PrLabel(v, q.Label(qn))
+		if prle == 0 {
+			return 0
+		}
+		nodes = append(nodes, v)
+	}
+	seen := make(map[[2]query.NodeID]struct{}, 16)
+	for _, p := range prefix {
+		path := dec.Paths[p]
+		for pos := 0; pos+1 < len(path.Nodes); pos++ {
+			a, b := path.Nodes[pos], path.Nodes[pos+1]
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]query.NodeID{a, b}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			ep, ok := g.EdgeBetween(asn[a], asn[b])
+			if !ok {
+				return 0
+			}
+			prle *= ep.Prob(q.Label(a), q.Label(b))
+			if prle == 0 {
+				return 0
+			}
+		}
+	}
+	return prle * g.Prn(nodes)
+}
+
+// finalize computes the exact Pr(M) over every query node and edge.
+func finalize(g *entity.Graph, q *query.Query, asn map[query.NodeID]entity.ID, alpha float64) (Match, bool) {
+	mapping := make([]entity.ID, q.NumNodes())
+	nodes := make([]entity.ID, 0, q.NumNodes())
+	prle := 1.0
+	for n := 0; n < q.NumNodes(); n++ {
+		v, ok := asn[query.NodeID(n)]
+		if !ok {
+			return Match{}, false // uncovered query node (cannot happen with a covering decomposition)
+		}
+		mapping[n] = v
+		nodes = append(nodes, v)
+		prle *= g.PrLabel(v, q.Label(query.NodeID(n)))
+		if prle == 0 {
+			return Match{}, false
+		}
+	}
+	for _, e := range q.Edges() {
+		ep, ok := g.EdgeBetween(mapping[e[0]], mapping[e[1]])
+		if !ok {
+			return Match{}, false
+		}
+		prle *= ep.Prob(q.Label(e[0]), q.Label(e[1]))
+		if prle == 0 {
+			return Match{}, false
+		}
+	}
+	prn := g.Prn(nodes)
+	if prle*prn+1e-12 < alpha {
+		return Match{}, false
+	}
+	return Match{Mapping: mapping, Prle: prle, Prn: prn}, true
+}
+
+func assignmentRefsDisjoint(g *entity.Graph, asn map[query.NodeID]entity.ID) bool {
+	seen := make(map[refgraph.RefID]struct{}, len(asn)*2)
+	for _, v := range asn {
+		for _, r := range g.Refs(v) {
+			if _, dup := seen[r]; dup {
+				return false
+			}
+			seen[r] = struct{}{}
+		}
+	}
+	return true
+}
+
+func intersectLinks(a []int32, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

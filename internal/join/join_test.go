@@ -1,0 +1,117 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/prob"
+	"repro/internal/query"
+)
+
+// buildDec constructs a decomposition over a 4-node path query split into
+// three overlapping 1-edge paths plus metadata for order testing.
+func buildDec(t *testing.T, cards []float64) *decompose.Decomposition {
+	t.Helper()
+	q := query.New()
+	var ns []query.NodeID
+	for i := 0; i < 4; i++ {
+		ns = append(ns, q.AddNode(prob.LabelID(i%2)))
+	}
+	for i := 0; i+1 < 4; i++ {
+		if err := q.AddEdge(ns[i], ns[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := estFunc(func(x []prob.LabelID, alpha float64) float64 { return 10 })
+	dec, err := decompose.Decompose(q, est, decompose.Options{MaxLen: 1, Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Paths) != 3 {
+		t.Fatalf("decomposition size = %d, want 3", len(dec.Paths))
+	}
+	for i := range cards {
+		if i < len(dec.Paths) {
+			dec.Paths[i].Card = cards[i]
+		}
+	}
+	return dec
+}
+
+type estFunc func(x []prob.LabelID, alpha float64) float64
+
+func (f estFunc) Cardinality(x []prob.LabelID, alpha float64) float64 { return f(x, alpha) }
+
+func TestOrderHeuristicStartsAtSmallestCardinality(t *testing.T) {
+	dec := buildDec(t, []float64{50, 5, 20})
+	order := Order(dec, OrderHeuristic)
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	// First: no overlap anywhere, so smallest cardinality (path 1).
+	if order[0] != 1 {
+		t.Errorf("order[0] = %d, want 1 (smallest cardinality)", order[0])
+	}
+	// Subsequent paths must overlap the prefix when possible: each
+	// single-edge path overlaps its neighbors.
+	seen := map[query.NodeID]bool{}
+	for _, n := range dec.Paths[order[0]].Nodes {
+		seen[n] = true
+	}
+	for _, p := range order[1:] {
+		overlap := false
+		for _, n := range dec.Paths[p].Nodes {
+			if seen[n] {
+				overlap = true
+			}
+			seen[n] = true
+		}
+		if !overlap {
+			t.Errorf("path %d added without overlap", p)
+		}
+	}
+}
+
+func TestOrderByCardinality(t *testing.T) {
+	dec := buildDec(t, []float64{50, 5, 20})
+	order := Order(dec, OrderByCardinality)
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", order)
+	}
+}
+
+func TestOrderEmpty(t *testing.T) {
+	if got := Order(&decompose.Decomposition{}, OrderHeuristic); got != nil {
+		t.Errorf("Order(empty) = %v", got)
+	}
+}
+
+func TestIntersectLinks(t *testing.T) {
+	cases := []struct {
+		a, b, want []int32
+	}{
+		{[]int32{1, 3, 5}, []int32{2, 3, 5, 9}, []int32{3, 5}},
+		{[]int32{1, 2}, []int32{3, 4}, nil},
+		{nil, []int32{1}, nil},
+		{[]int32{7}, []int32{7}, []int32{7}},
+	}
+	for _, c := range cases {
+		got := intersectLinks(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMatchPr(t *testing.T) {
+	m := Match{Prle: 0.5, Prn: 0.4}
+	if m.Pr() != 0.2 {
+		t.Errorf("Pr = %v", m.Pr())
+	}
+}

@@ -1,0 +1,95 @@
+package kpartite
+
+import (
+	"fmt"
+
+	"repro/internal/candidates"
+	"repro/internal/decompose"
+)
+
+// VertexSpec describes one vertex for NewExplicit: its two weights
+// (w1 = exclusive label/edge cover product, w2 = identity probability).
+type VertexSpec struct {
+	W1, W2 float64
+}
+
+// LinkSpec connects vertex IndexA of partition PartA with vertex IndexB of
+// partition PartB.
+type LinkSpec struct {
+	PartA, IndexA int
+	PartB, IndexB int
+}
+
+// NewExplicit constructs a candidate k-partite graph directly from vertex
+// weights and links, bypassing candidate generation. joined lists the
+// partition pairs that must be linked (J(P)); it must cover every pair that
+// appears in links. Intended for unit tests and for experimenting with the
+// reduction algorithms in isolation (e.g. the paper's Figure 5 walkthrough).
+func NewExplicit(parts [][]VertexSpec, joined [][2]int, links []LinkSpec, alpha float64) (*Graph, error) {
+	k := len(parts)
+	dec := &decompose.Decomposition{
+		Paths: make([]decompose.Path, k),
+		Joins: make(map[[2]int][]decompose.JoinPred),
+	}
+	for _, j := range joined {
+		a, b := j[0], j[1]
+		if a > b {
+			a, b = b, a
+		}
+		if a < 0 || b >= k || a == b {
+			return nil, fmt.Errorf("kpartite: bad joined pair %v", j)
+		}
+		dec.Joins[[2]int{a, b}] = []decompose.JoinPred{{}}
+	}
+	kg := &Graph{dec: dec, alpha: alpha}
+	kg.parts = make([]*partition, k)
+	kg.links = make([][][][]int32, k)
+	sets := make([]candidates.Set, k)
+	for p := 0; p < k; p++ {
+		n := len(parts[p])
+		sets[p] = candidates.Set{Path: &dec.Paths[p], Cands: make([]candidates.Candidate, n)}
+		part := &partition{
+			set:    &sets[p],
+			alive:  make([]bool, n),
+			nAlive: n,
+			w1:     make([]float64, n),
+			w2:     make([]float64, n),
+			vec:    make([][]float64, n),
+		}
+		for i, vs := range parts[p] {
+			part.alive[i] = true
+			part.w1[i] = vs.W1
+			part.w2[i] = vs.W2
+		}
+		kg.parts[p] = part
+		kg.links[p] = make([][][]int32, k)
+	}
+	for _, j := range joined {
+		a, b := j[0], j[1]
+		kg.links[a][b] = make([][]int32, len(parts[a]))
+		kg.links[b][a] = make([][]int32, len(parts[b]))
+	}
+	for _, l := range links {
+		if l.PartA < 0 || l.PartA >= k || l.PartB < 0 || l.PartB >= k {
+			return nil, fmt.Errorf("kpartite: bad link %+v", l)
+		}
+		if kg.links[l.PartA][l.PartB] == nil {
+			return nil, fmt.Errorf("kpartite: link %+v between non-joined partitions", l)
+		}
+		kg.links[l.PartA][l.PartB][l.IndexA] = append(kg.links[l.PartA][l.PartB][l.IndexA], int32(l.IndexB))
+		kg.links[l.PartB][l.PartA][l.IndexB] = append(kg.links[l.PartB][l.PartA][l.IndexB], int32(l.IndexA))
+	}
+	return kg, nil
+}
+
+// Vector returns a copy of the current perception vector of vertex i in
+// partition p (nil before reduction).
+func (kg *Graph) Vector(p, i int) []float64 {
+	v := kg.parts[p].vec[i]
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

@@ -1,0 +1,557 @@
+// Package kpartite implements Sections 5.2.3 and 5.2.4: the candidate
+// k-partite graph (one partition per decomposition path, one vertex per
+// candidate path match, links between join-candidates), and the joint search
+// space reduction that interleaves reduction by structure with reduction by
+// upperbounds (perception-vector message passing) until fixpoint.
+package kpartite
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/candidates"
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/query"
+	"repro/internal/refgraph"
+)
+
+// Graph is the candidate k-partite graph.
+type Graph struct {
+	g     *entity.Graph
+	q     *query.Query
+	dec   *decompose.Decomposition
+	alpha float64
+
+	parts []*partition
+	// links[p][j] is nil unless j ∈ J(p); otherwise links[p][j][i] lists the
+	// vertices of partition j linked to vertex i of partition p, ascending.
+	links [][][][]int32
+}
+
+type partition struct {
+	set    *candidates.Set
+	alive  []bool
+	nAlive int
+	w1     []float64
+	w2     []float64
+	vec    [][]float64 // perception vectors, one entry per partition
+}
+
+// Stats reports the reduction behaviour (Figures 7(e) and 7(f)).
+type Stats struct {
+	// SSBefore is the search space size entering the reduction.
+	SSBefore float64
+	// SSAfterStructure is the size after the first structure-only fixpoint.
+	SSAfterStructure float64
+	// SSAfterUpperbound is the final size after the full interleaved
+	// reduction.
+	SSAfterUpperbound float64
+	// Rounds counts the interleaved reduction iterations.
+	Rounds int
+	// LinksBuilt counts the join-candidate links constructed.
+	LinksBuilt int
+}
+
+// Build constructs the k-partite graph: join-candidate links are found with
+// per-pair lookup tables (Section 5.2.3), filtering by join predicates,
+// combined probability, and reference disjointness.
+func Build(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, sets []candidates.Set, alpha float64) (*Graph, error) {
+	k := len(sets)
+	kg := &Graph{g: g, q: q, dec: dec, alpha: alpha}
+	kg.parts = make([]*partition, k)
+	kg.links = make([][][][]int32, k)
+	for p := 0; p < k; p++ {
+		n := len(sets[p].Cands)
+		part := &partition{
+			set:    &sets[p],
+			alive:  make([]bool, n),
+			nAlive: n,
+			w1:     make([]float64, n),
+			w2:     make([]float64, n),
+			vec:    make([][]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			part.alive[i] = true
+		}
+		kg.parts[p] = part
+		kg.links[p] = make([][][]int32, k)
+	}
+	kg.computeWeights()
+
+	for pair := range dec.Joins {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := kg.linkPair(pair[0], pair[1]); err != nil {
+			return nil, err
+		}
+	}
+	return kg, nil
+}
+
+// computeWeights assigns w1 (the exclusive node/edge cover product) and w2
+// (the identity probability Prn) to every vertex.
+func (kg *Graph) computeWeights() {
+	for p, part := range kg.parts {
+		path := part.set.Path
+		for i, c := range part.set.Cands {
+			w1 := 1.0
+			for pos, qn := range path.Nodes {
+				if kg.dec.CoverNode[qn] == p {
+					w1 *= kg.g.PrLabel(c.Nodes[pos], kg.q.Label(qn))
+				}
+			}
+			for pos := 0; pos+1 < len(path.Nodes); pos++ {
+				a, b := path.Nodes[pos], path.Nodes[pos+1]
+				key := edgeKey(a, b)
+				if kg.dec.CoverEdge[key] != p {
+					continue
+				}
+				ep, ok := kg.g.EdgeBetween(c.Nodes[pos], c.Nodes[pos+1])
+				if !ok {
+					w1 = 0
+					break
+				}
+				w1 *= ep.Prob(kg.q.Label(a), kg.q.Label(b))
+			}
+			part.w1[i] = w1
+			part.w2[i] = c.Prn
+		}
+	}
+}
+
+func edgeKey(a, b query.NodeID) [2]query.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]query.NodeID{a, b}
+}
+
+// linkPair builds the links between partitions a and b via a lookup table
+// T(b, a) keyed by b's join-position node tuples.
+func (kg *Graph) linkPair(a, b int) error {
+	preds := kg.dec.Preds(a, b)
+	// Table over partition b keyed by its join-position nodes.
+	table := make(map[string][]int32)
+	keyBuf := make([]byte, 0, len(preds)*4)
+	for i, c := range kg.parts[b].set.Cands {
+		keyBuf = keyBuf[:0]
+		for _, pr := range preds {
+			keyBuf = appendID(keyBuf, c.Nodes[pr.PosB])
+		}
+		table[string(keyBuf)] = append(table[string(keyBuf)], int32(i))
+	}
+
+	la := make([][]int32, len(kg.parts[a].set.Cands))
+	lb := make([][]int32, len(kg.parts[b].set.Cands))
+	for i, c := range kg.parts[a].set.Cands {
+		keyBuf = keyBuf[:0]
+		for _, pr := range preds {
+			keyBuf = appendID(keyBuf, c.Nodes[pr.PosA])
+		}
+		for _, j := range table[string(keyBuf)] {
+			if !kg.joinable(a, i, b, int(j)) {
+				continue
+			}
+			la[i] = append(la[i], j)
+			lb[j] = append(lb[j], int32(i))
+		}
+	}
+	for _, l := range la {
+		sort.Slice(l, func(x, y int) bool { return l[x] < l[y] })
+	}
+	for _, l := range lb {
+		sort.Slice(l, func(x, y int) bool { return l[x] < l[y] })
+	}
+	kg.links[a][b] = la
+	kg.links[b][a] = lb
+	return nil
+}
+
+func appendID(b []byte, id entity.ID) []byte {
+	return append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+}
+
+// joinable applies the probabilistic and reference-disjointness filters of
+// cn(P1, Pu1, P2): Pr(Pu1 ∘ Pu2) ≥ α and refs(V_Pu1) ∩ refs(V_Pu2) = ∅
+// (shared join nodes excepted).
+func (kg *Graph) joinable(a, i, b, j int) bool {
+	ca := kg.parts[a].set.Cands[i]
+	cb := kg.parts[b].set.Cands[j]
+	pa := kg.parts[a].set.Path
+	pb := kg.parts[b].set.Path
+
+	// Union assignment keyed by query node.
+	asn := make(map[query.NodeID]entity.ID, len(pa.Nodes)+len(pb.Nodes))
+	for pos, qn := range pa.Nodes {
+		asn[qn] = ca.Nodes[pos]
+	}
+	for pos, qn := range pb.Nodes {
+		if v, ok := asn[qn]; ok {
+			if v != cb.Nodes[pos] {
+				return false // join predicate violated (defensive; table guarantees it)
+			}
+			continue
+		}
+		asn[qn] = cb.Nodes[pos]
+	}
+	if !refsDisjoint(kg.g, asn) {
+		return false
+	}
+	return combinedPr(kg.g, kg.q, asn, pa, pb)+1e-12 >= kg.alpha
+}
+
+// refsDisjoint checks pairwise reference disjointness over an assignment;
+// it also rejects two query nodes mapped to the same entity (an entity
+// shares references with itself), enforcing injectivity.
+func refsDisjoint(g *entity.Graph, asn map[query.NodeID]entity.ID) bool {
+	seen := make(map[refgraph.RefID]struct{}, len(asn)*2)
+	for _, v := range asn {
+		for _, r := range g.Refs(v) {
+			if _, dup := seen[r]; dup {
+				return false
+			}
+			seen[r] = struct{}{}
+		}
+	}
+	return true
+}
+
+// combinedPr computes Pr(Pu1 ∘ Pu2): the label/edge product over the union
+// subgraph times the identity marginal over the union node set.
+func combinedPr(g *entity.Graph, q *query.Query, asn map[query.NodeID]entity.ID, paths ...*decompose.Path) float64 {
+	prle := 1.0
+	for qn, v := range asn {
+		prle *= g.PrLabel(v, q.Label(qn))
+		if prle == 0 {
+			return 0
+		}
+	}
+	seenEdges := make(map[[2]query.NodeID]struct{}, 8)
+	nodes := make([]entity.ID, 0, len(asn))
+	for _, v := range asn {
+		nodes = append(nodes, v)
+	}
+	for _, p := range paths {
+		for pos := 0; pos+1 < len(p.Nodes); pos++ {
+			key := edgeKey(p.Nodes[pos], p.Nodes[pos+1])
+			if _, dup := seenEdges[key]; dup {
+				continue
+			}
+			seenEdges[key] = struct{}{}
+			ep, ok := g.EdgeBetween(asn[key[0]], asn[key[1]])
+			if !ok {
+				return 0
+			}
+			prle *= ep.Prob(q.Label(key[0]), q.Label(key[1]))
+			if prle == 0 {
+				return 0
+			}
+		}
+	}
+	return prle * g.Prn(nodes)
+}
+
+// NumPartitions returns k.
+func (kg *Graph) NumPartitions() int { return len(kg.parts) }
+
+// AliveCount returns the number of surviving vertices in partition p.
+func (kg *Graph) AliveCount(p int) int { return kg.parts[p].nAlive }
+
+// Alive reports whether vertex i of partition p survives.
+func (kg *Graph) Alive(p, i int) bool { return kg.parts[p].alive[i] }
+
+// Candidate returns candidate i of partition p.
+func (kg *Graph) Candidate(p, i int) candidates.Candidate { return kg.parts[p].set.Cands[i] }
+
+// Links returns the vertices of partition j linked to vertex i of partition
+// p (including dead ones; filter with Alive). Nil when j ∉ J(p).
+func (kg *Graph) Links(p, i, j int) []int32 {
+	if kg.links[p][j] == nil {
+		return nil
+	}
+	return kg.links[p][j][i]
+}
+
+// VertexExists reports whether partition p has a vertex i (alive or dead).
+func (kg *Graph) VertexExists(p, i int) bool {
+	return i >= 0 && i < len(kg.parts[p].alive)
+}
+
+// AliveVertices returns the indices of all surviving vertices in partition
+// p, ascending.
+func (kg *Graph) AliveVertices(p int) []int32 {
+	part := kg.parts[p]
+	out := make([]int32, 0, part.nAlive)
+	for i, a := range part.alive {
+		if a {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// LinkedAlive returns the alive vertices of partition j linked to vertex i
+// of partition p, ascending.
+func (kg *Graph) LinkedAlive(p, i, j int) []int32 {
+	links := kg.Links(p, i, j)
+	out := make([]int32, 0, len(links))
+	for _, u := range links {
+		if kg.parts[j].alive[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// SearchSpace returns the product of alive-vertex counts across partitions.
+func (kg *Graph) SearchSpace() float64 {
+	ss := 1.0
+	for _, part := range kg.parts {
+		ss *= float64(part.nAlive)
+	}
+	return ss
+}
+
+// Reduce runs the joint search space reduction to fixpoint: structure first,
+// then upperbound message passing interleaved with structure until no vertex
+// dies and no perception entry decreases.
+func (kg *Graph) Reduce(ctx context.Context, workers int) (Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := Stats{SSBefore: kg.SearchSpace()}
+	for _, part := range kg.parts {
+		for i := range part.vec {
+			part.vec[i] = nil
+		}
+	}
+	kg.reduceStructure()
+	st.SSAfterStructure = kg.SearchSpace()
+
+	kg.initVectors()
+	for {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		st.Rounds++
+		changed := kg.passUpperbounds(workers)
+		killed := kg.pruneByBound()
+		if killed > 0 {
+			kg.reduceStructure()
+		}
+		if !changed && killed == 0 {
+			break
+		}
+		if st.Rounds > 10000 {
+			break // safety valve; convergence is monotone so this is unreachable
+		}
+	}
+	st.SSAfterUpperbound = kg.SearchSpace()
+	for p := range kg.parts {
+		for j := range kg.links[p] {
+			if kg.links[p][j] != nil {
+				for i := range kg.links[p][j] {
+					st.LinksBuilt += len(kg.links[p][j][i])
+				}
+			}
+		}
+	}
+	st.LinksBuilt /= 2
+	return st, nil
+}
+
+// ReduceStructureOnly runs only the structural fixpoint (used by the
+// Figure 7(f) ablation).
+func (kg *Graph) ReduceStructureOnly() Stats {
+	st := Stats{SSBefore: kg.SearchSpace()}
+	kg.reduceStructure()
+	st.SSAfterStructure = kg.SearchSpace()
+	st.SSAfterUpperbound = st.SSAfterStructure
+	return st
+}
+
+// reduceStructure kills vertices lacking a link into some required partition
+// until fixpoint, propagating removals with a worklist.
+func (kg *Graph) reduceStructure() {
+	type vref struct{ p, i int }
+	var work []vref
+	for p, part := range kg.parts {
+		req := kg.dec.Joined(p)
+		for i := range part.alive {
+			if part.alive[i] && !kg.hasAllLinks(p, i, req) {
+				part.alive[i] = false
+				part.nAlive--
+				work = append(work, vref{p, i})
+			}
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Neighbors of the dead vertex may have lost their last link.
+		for j, lj := range kg.links[v.p] {
+			if lj == nil {
+				continue
+			}
+			reqJ := kg.dec.Joined(j)
+			for _, u := range lj[v.i] {
+				if !kg.parts[j].alive[u] {
+					continue
+				}
+				if !kg.hasAllLinks(j, int(u), reqJ) {
+					kg.parts[j].alive[u] = false
+					kg.parts[j].nAlive--
+					work = append(work, vref{j, int(u)})
+				}
+			}
+		}
+	}
+}
+
+func (kg *Graph) hasAllLinks(p, i int, req []int) bool {
+	for _, j := range req {
+		found := false
+		for _, u := range kg.links[p][j][i] {
+			if kg.parts[j].alive[u] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// initVectors sets every alive vertex's perception vector: w1 at its own
+// partition, 1 elsewhere.
+func (kg *Graph) initVectors() {
+	k := len(kg.parts)
+	for p, part := range kg.parts {
+		for i := range part.alive {
+			if !part.alive[i] {
+				continue
+			}
+			vec := make([]float64, k)
+			for q := range vec {
+				vec[q] = 1
+			}
+			vec[p] = part.w1[i]
+			part.vec[i] = vec
+		}
+	}
+}
+
+// passUpperbounds performs one bulk-synchronous message-passing round with
+// one worker per partition (bounded by workers), reporting whether any
+// perception entry decreased.
+func (kg *Graph) passUpperbounds(workers int) bool {
+	k := len(kg.parts)
+	updated := make([][][]float64, k)
+	changed := make([]bool, k)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for p := 0; p < k; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			updated[p], changed[p] = kg.updatePartition(p)
+		}(p)
+	}
+	wg.Wait()
+	any := false
+	for p := 0; p < k; p++ {
+		if changed[p] {
+			any = true
+		}
+		part := kg.parts[p]
+		for i, vec := range updated[p] {
+			if vec != nil {
+				part.vec[i] = vec
+			}
+		}
+	}
+	return any
+}
+
+// updatePartition computes the next perception vectors for partition p from
+// the current snapshot: entry q becomes min over joined partitions P2 of the
+// max over alive neighbors in P2 of their entry q (monotonically clamped).
+func (kg *Graph) updatePartition(p int) ([][]float64, bool) {
+	part := kg.parts[p]
+	req := kg.dec.Joined(p)
+	if len(req) == 0 {
+		return nil, false
+	}
+	k := len(kg.parts)
+	out := make([][]float64, len(part.alive))
+	changed := false
+	for i := range part.alive {
+		if !part.alive[i] {
+			continue
+		}
+		cur := part.vec[i]
+		var next []float64
+		for q := 0; q < k; q++ {
+			if q == p {
+				continue
+			}
+			val := cur[q]
+			for _, j := range req {
+				maxN := 0.0
+				for _, u := range kg.links[p][j][i] {
+					if !kg.parts[j].alive[u] {
+						continue
+					}
+					if vu := kg.parts[j].vec[u][q]; vu > maxN {
+						maxN = vu
+					}
+				}
+				if maxN < val {
+					val = maxN
+				}
+			}
+			if val < cur[q]-1e-15 {
+				if next == nil {
+					next = append([]float64(nil), cur...)
+				}
+				next[q] = val
+			}
+		}
+		if next != nil {
+			out[i] = next
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// pruneByBound kills vertices whose upperbound w2 · ∏ vec falls below α,
+// returning the number killed.
+func (kg *Graph) pruneByBound() int {
+	killed := 0
+	for _, part := range kg.parts {
+		for i := range part.alive {
+			if !part.alive[i] {
+				continue
+			}
+			bound := part.w2[i]
+			for _, v := range part.vec[i] {
+				bound *= v
+			}
+			if bound+1e-12 < kg.alpha {
+				part.alive[i] = false
+				part.nAlive--
+				killed++
+			}
+		}
+	}
+	return killed
+}

@@ -1,0 +1,84 @@
+package pathindex
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Failure injection: every artifact of the index directory must be
+// validated on Open, and corruption must surface as an error rather than
+// bad query results.
+func TestOpenCorruptArtifacts(t *testing.T) {
+	g := motivating(t)
+	build := func(t *testing.T) string {
+		dir := filepath.Join(t.TempDir(), "ix")
+		ix, err := Build(context.Background(), g, Options{MaxLen: 2, Beta: 0.05, Gamma: 0.1, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, dir string)
+	}{
+		{"missing-meta", func(t *testing.T, dir string) {
+			os.Remove(filepath.Join(dir, fileMeta))
+		}},
+		{"garbage-meta", func(t *testing.T, dir string) {
+			os.WriteFile(filepath.Join(dir, fileMeta), []byte("{not json"), 0o644)
+		}},
+		{"missing-pages", func(t *testing.T, dir string) {
+			os.Remove(filepath.Join(dir, filePages))
+		}},
+		{"truncated-pages", func(t *testing.T, dir string) {
+			os.Truncate(filepath.Join(dir, filePages), 10)
+		}},
+		{"missing-context", func(t *testing.T, dir string) {
+			os.Remove(filepath.Join(dir, fileContext))
+		}},
+		{"garbage-context", func(t *testing.T, dir string) {
+			os.WriteFile(filepath.Join(dir, fileContext), []byte("XXXXXXXXXXXX"), 0o644)
+		}},
+		{"missing-hist", func(t *testing.T, dir string) {
+			os.Remove(filepath.Join(dir, fileHist))
+		}},
+		{"garbage-dict", func(t *testing.T, dir string) {
+			os.WriteFile(filepath.Join(dir, fileDict), []byte("BAD!data"), 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := build(t)
+			tc.corrupt(t, dir)
+			if ix, err := Open(dir, g); err == nil {
+				ix.Close()
+				t.Error("corrupt index opened without error")
+			}
+		})
+	}
+}
+
+func TestOpenIntactAfterFailureTests(t *testing.T) {
+	// Sanity: an untouched directory still opens.
+	g := motivating(t)
+	dir := filepath.Join(t.TempDir(), "ix")
+	ix, err := Build(context.Background(), g, Options{MaxLen: 1, Beta: 0.1, Gamma: 0.1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := Open(dir, g)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ix2.Close()
+}

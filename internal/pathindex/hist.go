@@ -1,0 +1,181 @@
+package pathindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Histograms hold, per canonical label sequence, the number of indexed
+// entries in each probability bucket. They implement the offline histograms
+// of Section 5.2.1: hist(X, αᵢ) at the bucket grid points, interpolated at
+// query time with exponential curve fitting to estimate
+// |PIndex(l_Q(V_P), α)| for arbitrary α.
+type Histograms struct {
+	beta, gamma float64
+	nb          int
+	counts      map[uint64][]uint32 // seqID → per-bucket entry counts
+}
+
+// NewHistograms creates empty histograms for the given index parameters.
+func NewHistograms(beta, gamma float64) *Histograms {
+	return &Histograms{
+		beta:   beta,
+		gamma:  gamma,
+		nb:     numBuckets(beta, gamma),
+		counts: make(map[uint64][]uint32),
+	}
+}
+
+// Add records one indexed entry for seqID in the given bucket.
+func (h *Histograms) Add(seqID uint64, bucket uint16) {
+	c := h.counts[seqID]
+	if c == nil {
+		c = make([]uint32, h.nb)
+		h.counts[seqID] = c
+	}
+	c[bucket]++
+}
+
+// AddN records n entries at once.
+func (h *Histograms) AddN(seqID uint64, bucket uint16, n uint32) {
+	c := h.counts[seqID]
+	if c == nil {
+		c = make([]uint32, h.nb)
+		h.counts[seqID] = c
+	}
+	c[bucket] += n
+}
+
+// CumulativeAt returns hist(X, grid point i): the exact number of stored
+// entries with probability ≥ β+iγ.
+func (h *Histograms) CumulativeAt(seqID uint64, i int) uint32 {
+	c := h.counts[seqID]
+	if c == nil || i >= h.nb {
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	var sum uint32
+	for j := i; j < h.nb; j++ {
+		sum += c[j]
+	}
+	return sum
+}
+
+// Estimate approximates the number of stored entries with probability ≥
+// alpha using exponential curve fitting between the two surrounding grid
+// points, as Section 5.2.1 prescribes: with N(αᵢ) and N(αᵢ₊₁) known,
+// N(α) = N(αᵢ) · (N(αᵢ₊₁)/N(αᵢ))^((α−αᵢ)/γ).
+func (h *Histograms) Estimate(seqID uint64, alpha float64) float64 {
+	c := h.counts[seqID]
+	if c == nil {
+		return 0
+	}
+	if alpha <= h.beta {
+		return float64(h.CumulativeAt(seqID, 0))
+	}
+	if alpha >= 1 {
+		return float64(h.CumulativeAt(seqID, h.nb-1))
+	}
+	i := int((alpha - h.beta) / h.gamma)
+	if i >= h.nb-1 {
+		return float64(h.CumulativeAt(seqID, h.nb-1))
+	}
+	ni := float64(h.CumulativeAt(seqID, i))
+	nj := float64(h.CumulativeAt(seqID, i+1))
+	if ni == 0 {
+		return 0
+	}
+	frac := (alpha - bucketFloor(uint16(i), h.beta, h.gamma)) / h.gamma
+	if nj == 0 {
+		// Exponential fit undefined; fall back to a linear ramp to zero,
+		// which preserves monotonicity.
+		return ni * (1 - frac)
+	}
+	return ni * math.Pow(nj/ni, frac)
+}
+
+// NumSeqs returns the number of distinct label sequences recorded.
+func (h *Histograms) NumSeqs() int { return len(h.counts) }
+
+const histMagic = "PEGH"
+
+// Save writes the histograms to a file.
+func (h *Histograms) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pathindex: save hist: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var hdr [28]byte
+	copy(hdr[:4], histMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], math.Float64bits(h.beta))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(h.gamma))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(len(h.counts)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var buf [8]byte
+	for seqID, c := range h.counts {
+		binary.LittleEndian.PutUint64(buf[:], seqID)
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+		for _, v := range c {
+			binary.LittleEndian.PutUint32(buf[:4], v)
+			if _, err := w.Write(buf[:4]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHistograms reads histograms written by Save.
+func LoadHistograms(path string) (*Histograms, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pathindex: load hist: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [28]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pathindex: load hist: %w", err)
+	}
+	if string(hdr[:4]) != histMagic {
+		return nil, fmt.Errorf("pathindex: bad hist magic %q", hdr[:4])
+	}
+	beta := math.Float64frombits(binary.LittleEndian.Uint64(hdr[4:]))
+	gamma := math.Float64frombits(binary.LittleEndian.Uint64(hdr[12:]))
+	n := binary.LittleEndian.Uint64(hdr[20:])
+	h := NewHistograms(beta, gamma)
+	var buf [8]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("pathindex: load hist seq: %w", err)
+		}
+		seqID := binary.LittleEndian.Uint64(buf[:])
+		c := make([]uint32, h.nb)
+		for j := range c {
+			if _, err := io.ReadFull(r, buf[:4]); err != nil {
+				return nil, fmt.Errorf("pathindex: load hist counts: %w", err)
+			}
+			c[j] = binary.LittleEndian.Uint32(buf[:4])
+		}
+		h.counts[seqID] = c
+	}
+	return h, nil
+}

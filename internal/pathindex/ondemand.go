@@ -1,0 +1,85 @@
+package pathindex
+
+import (
+	"repro/internal/entity"
+	"repro/internal/prob"
+)
+
+// onDemand enumerates paths matching the label sequence X with probability
+// ≥ alpha directly from the graph, used when alpha is below the index
+// construction threshold β (footnote 1 of the paper). It performs a DFS over
+// GU guided by the label sequence, pruning by partial probability.
+func (ix *Index) onDemand(X []prob.LabelID, alpha float64) ([]PathMatch, error) {
+	g := ix.g
+	var out []PathMatch
+	var cur opath
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		id := entity.ID(v)
+		lp := g.PrLabel(id, X[0])
+		if lp == 0 {
+			continue
+		}
+		exist := g.Exist(id)
+		if lp*exist+1e-12 < alpha {
+			continue
+		}
+		cur.n = 1
+		cur.nodes[0] = id
+		cur.labels[0] = X[0]
+		cur.prle = lp
+		cur.prn = exist
+		out = ix.onDemandExtend(&cur, X, alpha, out)
+	}
+	return out, nil
+}
+
+func (ix *Index) onDemandExtend(p *opath, X []prob.LabelID, alpha float64, out []PathMatch) []PathMatch {
+	if int(p.n) == len(X) {
+		m := PathMatch{Nodes: make([]entity.ID, p.n), Prle: p.prle, Prn: p.prn}
+		copy(m.Nodes, p.nodes[:p.n])
+		return append(out, m)
+	}
+	g := ix.g
+	tail := p.nodes[p.n-1]
+	next := X[p.n]
+	for _, nb := range g.Neighbors(tail) {
+		if p.contains(nb.To) {
+			continue
+		}
+		lp := g.PrLabel(nb.To, next)
+		if lp == 0 {
+			continue
+		}
+		conflict := false
+		for i := uint8(0); i < p.n; i++ {
+			u := p.nodes[i]
+			if u != tail && g.RefsOverlap(u, nb.To) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		var scratch [maxNodes]entity.ID
+		ext := append(scratch[:0], p.nodes[:p.n]...)
+		ext = append(ext, nb.To)
+		prn := g.Prn(ext)
+		if prn == 0 {
+			continue
+		}
+		prle := p.prle * nb.E.Prob(p.labels[p.n-1], next) * lp
+		if prle*prn+1e-12 < alpha {
+			continue
+		}
+		np := *p
+		np.nodes[np.n] = nb.To
+		np.labels[np.n] = next
+		np.n++
+		np.prle = prle
+		np.prn = prn
+		out = ix.onDemandExtend(&np, X, alpha, out)
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+// Package pgm implements a small exact inference engine for discrete
+// probabilistic graphical models, as used in Section 3 of the paper: a PEG is
+// a graphical model whose joint distribution is the normalized product of its
+// factors, and whose independencies are read off the Markov network's
+// connected components (Eq. 4–7).
+//
+// The engine supports arbitrary discrete variables and factors and performs
+// exact inference by enumeration within each connected component. The paper
+// relies on identity components being "small enough in practice for this to
+// be feasible"; Model.ComponentDist enforces a configurable state-space
+// budget and reports an error when a component exceeds it, mirroring the
+// paper's caveat that larger components would require approximate inference.
+package pgm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Var identifies a random variable in a Model by dense index.
+type Var int
+
+// Factor is a non-negative function over a subset of the model's variables.
+// Fn receives the values of exactly the variables listed in Vars, in order.
+type Factor struct {
+	Vars []Var
+	Fn   func(vals []int) float64
+}
+
+// Model is a probabilistic graphical model: discrete variables with given
+// cardinalities plus a set of factors. The joint distribution is
+// Pr(v) = (1/Z) ∏_f f(v_f).
+type Model struct {
+	card    []int
+	factors []Factor
+}
+
+// NewModel creates a model with the given per-variable cardinalities.
+func NewModel(cardinalities []int) (*Model, error) {
+	for i, c := range cardinalities {
+		if c < 1 {
+			return nil, fmt.Errorf("pgm: variable %d has cardinality %d", i, c)
+		}
+	}
+	card := make([]int, len(cardinalities))
+	copy(card, cardinalities)
+	return &Model{card: card}, nil
+}
+
+// NumVars returns the number of variables in the model.
+func (m *Model) NumVars() int { return len(m.card) }
+
+// Card returns the cardinality of variable v.
+func (m *Model) Card(v Var) int { return m.card[v] }
+
+// AddFactor registers a factor. Factors over no variables are rejected, as
+// are references to unknown variables.
+func (m *Model) AddFactor(f Factor) error {
+	if len(f.Vars) == 0 {
+		return errors.New("pgm: factor over no variables")
+	}
+	if f.Fn == nil {
+		return errors.New("pgm: factor with nil function")
+	}
+	seen := make(map[Var]bool, len(f.Vars))
+	for _, v := range f.Vars {
+		if v < 0 || int(v) >= len(m.card) {
+			return fmt.Errorf("pgm: factor references unknown variable %d", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("pgm: factor repeats variable %d", v)
+		}
+		seen[v] = true
+	}
+	m.factors = append(m.factors, f)
+	return nil
+}
+
+// Components returns the connected components of the model's Markov network:
+// two variables are connected if they co-occur in a factor. Each component
+// is a sorted slice of variable indices; isolated variables form singleton
+// components. Components are returned ordered by their smallest variable.
+func (m *Model) Components() [][]Var {
+	n := len(m.card)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, f := range m.factors {
+		for i := 1; i < len(f.Vars); i++ {
+			union(int(f.Vars[0]), int(f.Vars[i]))
+		}
+	}
+	groups := make(map[int][]Var)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], Var(i))
+	}
+	out := make([][]Var, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	// Deterministic order by smallest member (members are already ascending
+	// because we appended in index order).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j][0] < out[j-1][0]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Assignment is one full assignment to a component's variables together with
+// its normalized probability.
+type Assignment struct {
+	Vals []int // parallel to the component's variable slice
+	P    float64
+}
+
+// ErrTooLarge is returned when a component's state space exceeds the budget.
+var ErrTooLarge = errors.New("pgm: component state space exceeds budget")
+
+// ErrZeroPartition is returned when every assignment of a component has zero
+// weight, i.e. the factors are contradictory.
+var ErrZeroPartition = errors.New("pgm: component partition function is zero")
+
+// DefaultStateBudget bounds exact enumeration per component.
+const DefaultStateBudget = 1 << 22
+
+// ComponentDist enumerates the joint distribution of one connected component
+// by brute force: every assignment with non-zero weight is returned with its
+// normalized probability (Eq. 7's per-component normalization). The factors
+// considered are exactly those whose scope is inside the component. budget
+// caps the number of states (≤ 0 means DefaultStateBudget).
+func (m *Model) ComponentDist(comp []Var, budget int) ([]Assignment, error) {
+	if budget <= 0 {
+		budget = DefaultStateBudget
+	}
+	states := 1
+	pos := make(map[Var]int, len(comp))
+	for i, v := range comp {
+		pos[v] = i
+		if states > budget/m.card[v] {
+			return nil, fmt.Errorf("%w: component of %d variables", ErrTooLarge, len(comp))
+		}
+		states *= m.card[v]
+	}
+	// Collect the factors scoped within the component.
+	var fs []Factor
+	for _, f := range m.factors {
+		inside := true
+		for _, v := range f.Vars {
+			if _, ok := pos[v]; !ok {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			fs = append(fs, f)
+		} else {
+			// A factor straddling component boundaries contradicts the
+			// component structure; Components() makes this impossible, but
+			// guard against misuse with a partial component slice.
+			for _, v := range f.Vars {
+				if _, ok := pos[v]; ok {
+					return nil, fmt.Errorf("pgm: factor straddles component boundary at variable %d", v)
+				}
+			}
+		}
+	}
+
+	vals := make([]int, len(comp))
+	scratch := make([]int, 0, 8)
+	var (
+		out []Assignment
+		z   float64
+	)
+	for s := 0; s < states; s++ {
+		rem := s
+		for i, v := range comp {
+			c := m.card[v]
+			vals[i] = rem % c
+			rem /= c
+		}
+		w := 1.0
+		for _, f := range fs {
+			scratch = scratch[:0]
+			for _, v := range f.Vars {
+				scratch = append(scratch, vals[pos[v]])
+			}
+			w *= f.Fn(scratch)
+			if w == 0 {
+				break
+			}
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("pgm: factor produced invalid weight %v", w)
+		}
+		if w > 0 {
+			cp := make([]int, len(vals))
+			copy(cp, vals)
+			out = append(out, Assignment{Vals: cp, P: w})
+			z += w
+		}
+	}
+	if z == 0 {
+		return nil, ErrZeroPartition
+	}
+	for i := range out {
+		out[i].P /= z
+	}
+	return out, nil
+}
+
+// Marginal computes Pr(vars = want) for variables inside a single component,
+// given that component's distribution as returned by ComponentDist.
+func Marginal(comp []Var, dist []Assignment, vars []Var, want []int) float64 {
+	if len(vars) != len(want) {
+		panic("pgm: Marginal vars/want length mismatch")
+	}
+	pos := make(map[Var]int, len(comp))
+	for i, v := range comp {
+		pos[v] = i
+	}
+	p := 0.0
+	for _, a := range dist {
+		ok := true
+		for i, v := range vars {
+			j, exists := pos[v]
+			if !exists {
+				panic(fmt.Sprintf("pgm: Marginal variable %d not in component", v))
+			}
+			if a.Vals[j] != want[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			p += a.P
+		}
+	}
+	return p
+}

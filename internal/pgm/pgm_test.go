@@ -1,0 +1,257 @@
+package pgm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func mustModel(t *testing.T, cards []int) *Model {
+	t.Helper()
+	m, err := NewModel(cards)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func addFactor(t *testing.T, m *Model, vars []Var, fn func([]int) float64) {
+	t.Helper()
+	if err := m.AddFactor(Factor{Vars: vars, Fn: fn}); err != nil {
+		t.Fatalf("AddFactor: %v", err)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel([]int{2, 0}); err == nil {
+		t.Error("zero cardinality accepted")
+	}
+	m := mustModel(t, []int{2, 2})
+	if m.NumVars() != 2 || m.Card(0) != 2 {
+		t.Errorf("NumVars/Card wrong: %d %d", m.NumVars(), m.Card(0))
+	}
+}
+
+func TestAddFactorValidation(t *testing.T) {
+	m := mustModel(t, []int{2, 2})
+	one := func([]int) float64 { return 1 }
+	if err := m.AddFactor(Factor{Vars: nil, Fn: one}); err == nil {
+		t.Error("empty-scope factor accepted")
+	}
+	if err := m.AddFactor(Factor{Vars: []Var{0}, Fn: nil}); err == nil {
+		t.Error("nil-fn factor accepted")
+	}
+	if err := m.AddFactor(Factor{Vars: []Var{5}, Fn: one}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	if err := m.AddFactor(Factor{Vars: []Var{0, 0}, Fn: one}); err == nil {
+		t.Error("repeated variable accepted")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	m := mustModel(t, []int{2, 2, 2, 2, 2})
+	one := func([]int) float64 { return 1 }
+	addFactor(t, m, []Var{0, 1}, one)
+	addFactor(t, m, []Var{1, 2}, one)
+	addFactor(t, m, []Var{3}, one)
+	comps := m.Components()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 || comps[0][2] != 2 {
+		t.Errorf("component 0 = %v", comps[0])
+	}
+	if len(comps[1]) != 1 || comps[1][0] != 3 {
+		t.Errorf("component 1 = %v", comps[1])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 4 {
+		t.Errorf("component 2 = %v", comps[2])
+	}
+}
+
+func TestComponentDistBernoulli(t *testing.T) {
+	m := mustModel(t, []int{2})
+	addFactor(t, m, []Var{0}, func(v []int) float64 {
+		if v[0] == 1 {
+			return 0.3
+		}
+		return 0.7
+	})
+	dist, err := m.ComponentDist([]Var{0}, 0)
+	if err != nil {
+		t.Fatalf("ComponentDist: %v", err)
+	}
+	if len(dist) != 2 {
+		t.Fatalf("got %d assignments", len(dist))
+	}
+	if p := Marginal([]Var{0}, dist, []Var{0}, []int{1}); math.Abs(p-0.3) > eps {
+		t.Errorf("Pr(x=1) = %v, want 0.3", p)
+	}
+}
+
+// The paper's motivating identity component: sets {r3}, {r4}, {r3,r4} with
+// merge probability 0.8 must yield Pr(merged)=0.8, Pr(unmerged)=0.2 under
+// the example semantics weight (non-singleton p vs 1-p on legal configs).
+func TestComponentDistMergeExample(t *testing.T) {
+	// Vars: 0 = {r3}.n, 1 = {r4}.n, 2 = {r3,r4}.n.
+	m := mustModel(t, []int{2, 2, 2})
+	// Legality for reference r3: exactly one of vars 0, 2 exists.
+	exactlyOne := func(v []int) float64 {
+		if (v[0] == 1) != (v[1] == 1) {
+			return 1
+		}
+		return 0
+	}
+	addFactor(t, m, []Var{0, 2}, exactlyOne)
+	addFactor(t, m, []Var{1, 2}, exactlyOne)
+	// Merge prior on the non-singleton set.
+	addFactor(t, m, []Var{2}, func(v []int) float64 {
+		if v[0] == 1 {
+			return 0.8
+		}
+		return 0.2
+	})
+	comp := m.Components()
+	if len(comp) != 1 {
+		t.Fatalf("components = %v", comp)
+	}
+	dist, err := m.ComponentDist(comp[0], 0)
+	if err != nil {
+		t.Fatalf("ComponentDist: %v", err)
+	}
+	if len(dist) != 2 {
+		t.Fatalf("got %d legal configs, want 2", len(dist))
+	}
+	if p := Marginal(comp[0], dist, []Var{2}, []int{1}); math.Abs(p-0.8) > eps {
+		t.Errorf("Pr(merged) = %v, want 0.8", p)
+	}
+	if p := Marginal(comp[0], dist, []Var{0, 1}, []int{1, 1}); math.Abs(p-0.2) > eps {
+		t.Errorf("Pr(unmerged) = %v, want 0.2", p)
+	}
+}
+
+func TestComponentDistZeroPartition(t *testing.T) {
+	m := mustModel(t, []int{2})
+	addFactor(t, m, []Var{0}, func([]int) float64 { return 0 })
+	if _, err := m.ComponentDist([]Var{0}, 0); !errors.Is(err, ErrZeroPartition) {
+		t.Errorf("err = %v, want ErrZeroPartition", err)
+	}
+}
+
+func TestComponentDistBudget(t *testing.T) {
+	cards := make([]int, 30)
+	for i := range cards {
+		cards[i] = 2
+	}
+	m := mustModel(t, cards)
+	one := func([]int) float64 { return 1 }
+	vars := make([]Var, 30)
+	for i := range vars {
+		vars[i] = Var(i)
+		addFactor(t, m, []Var{Var(i), Var((i + 1) % 30)}, one)
+	}
+	if _, err := m.ComponentDist(vars, 1<<10); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestComponentDistInvalidWeight(t *testing.T) {
+	m := mustModel(t, []int{2})
+	addFactor(t, m, []Var{0}, func([]int) float64 { return math.NaN() })
+	if _, err := m.ComponentDist([]Var{0}, 0); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	m2 := mustModel(t, []int{2})
+	addFactor(t, m2, []Var{0}, func([]int) float64 { return -1 })
+	if _, err := m2.ComponentDist([]Var{0}, 0); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestComponentDistStraddle(t *testing.T) {
+	m := mustModel(t, []int{2, 2})
+	addFactor(t, m, []Var{0, 1}, func([]int) float64 { return 1 })
+	// Passing only half the true component must be rejected.
+	if _, err := m.ComponentDist([]Var{0}, 0); err == nil {
+		t.Error("straddling factor not detected")
+	}
+}
+
+func TestMarginalTernary(t *testing.T) {
+	m := mustModel(t, []int{3, 2})
+	addFactor(t, m, []Var{0, 1}, func(v []int) float64 {
+		// joint weights: var0 value i, var1 value j -> (i+1)*(j+1)
+		return float64((v[0] + 1) * (v[1] + 2))
+	})
+	comp := m.Components()[0]
+	dist, err := m.ComponentDist(comp, 0)
+	if err != nil {
+		t.Fatalf("ComponentDist: %v", err)
+	}
+	// Z = sum over i in 0..2, j in 0..1 of (i+1)(j+2) = (1+2+3)*(2+3) = 30.
+	if p := Marginal(comp, dist, []Var{0}, []int{2}); math.Abs(p-15.0/30.0) > eps {
+		t.Errorf("Pr(v0=2) = %v, want 0.5", p)
+	}
+	if p := Marginal(comp, dist, []Var{0, 1}, []int{0, 1}); math.Abs(p-3.0/30.0) > eps {
+		t.Errorf("Pr(v0=0,v1=1) = %v, want 0.1", p)
+	}
+}
+
+// Property: ComponentDist probabilities always sum to 1, and every marginal
+// lies in [0,1].
+func TestComponentDistNormalizedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		cards := make([]int, n)
+		for i := range cards {
+			cards[i] = rng.Intn(3) + 1
+		}
+		m, err := NewModel(cards)
+		if err != nil {
+			return false
+		}
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = Var(i)
+		}
+		// One random positive factor over all variables keeps it one
+		// component.
+		tbl := make(map[int]float64)
+		err = m.AddFactor(Factor{Vars: vars, Fn: func(v []int) float64 {
+			key := 0
+			for i, x := range v {
+				key = key*3 + x + i
+			}
+			if w, ok := tbl[key]; ok {
+				return w
+			}
+			w := rng.Float64() + 0.01
+			tbl[key] = w
+			return w
+		}})
+		if err != nil {
+			return false
+		}
+		dist, err := m.ComponentDist(vars, 0)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, a := range dist {
+			if a.P < 0 || a.P > 1+eps {
+				return false
+			}
+			sum += a.P
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package prob
+
+import "fmt"
+
+// LabelMerge is the node label merge function mΣ of Definition 1: it
+// transforms the label distributions of all references in an entity into the
+// entity's label distribution.
+type LabelMerge func(dists []Dist) Dist
+
+// EdgeMerge is the edge existence merge function m{T,F} of Definition 1: it
+// transforms the existence probabilities of all reference-pair edges between
+// two entities into the entity edge's existence probability.
+//
+// Following the worked example in Section 2 (where the merged edge
+// s34–s2 = avg(1, 0.5) = 0.75 averages only the two reference edges that
+// exist), the input contains only the probabilities of reference pairs that
+// actually carry an edge in the PGD; absent pairs contribute nothing.
+type EdgeMerge func(ps []float64) float64
+
+// AverageLabels is the mΣ used throughout the paper's experiments: the
+// entry-wise arithmetic mean of the input distributions.
+func AverageLabels(dists []Dist) Dist {
+	switch len(dists) {
+	case 0:
+		return Dist{}
+	case 1:
+		return dists[0]
+	}
+	acc := make(map[LabelID]float64)
+	for _, d := range dists {
+		for _, e := range d.entries {
+			acc[e.Label] += e.P
+		}
+	}
+	n := float64(len(dists))
+	entries := make([]LabelProb, 0, len(acc))
+	for l, p := range acc {
+		entries = append(entries, LabelProb{Label: l, P: p / n})
+	}
+	return MustDist(entries...)
+}
+
+// AverageEdges is the m{T,F} used throughout the paper's experiments: the
+// arithmetic mean of the input existence probabilities.
+func AverageEdges(ps []float64) float64 {
+	if len(ps) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range ps {
+		sum += p
+	}
+	return sum / float64(len(ps))
+}
+
+// DisjunctEdges is the alternative m{T,F} named in Section 3: the noisy-or
+// (disjunction) of the input existence probabilities,
+// 1 - ∏(1 - pᵢ).
+func DisjunctEdges(ps []float64) float64 {
+	q := 1.0
+	for _, p := range ps {
+		q *= 1 - p
+	}
+	return 1 - q
+}
+
+// MaxEdges keeps the most confident reference edge. Provided as an extra
+// user-selectable merge (the model is explicitly parameterized by merge
+// functions).
+func MaxEdges(ps []float64) float64 {
+	m := 0.0
+	for _, p := range ps {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// MergeFuncs bundles the two merge functions of a PGD.
+type MergeFuncs struct {
+	Labels LabelMerge
+	Edges  EdgeMerge
+}
+
+// DefaultMerge returns the merge functions used in the paper's experimental
+// evaluation: average for both labels and edges.
+func DefaultMerge() MergeFuncs {
+	return MergeFuncs{Labels: AverageLabels, Edges: AverageEdges}
+}
+
+// NamedEdgeMerge resolves a merge function by name, for CLI use.
+func NamedEdgeMerge(name string) (EdgeMerge, error) {
+	switch name {
+	case "average", "avg", "":
+		return AverageEdges, nil
+	case "disjunct", "noisy-or":
+		return DisjunctEdges, nil
+	case "max":
+		return MaxEdges, nil
+	}
+	return nil, fmt.Errorf("prob: unknown edge merge %q (want average, disjunct, or max)", name)
+}

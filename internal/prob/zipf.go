@@ -1,0 +1,51 @@
+package prob
+
+import "math/rand"
+
+// ZipfDist generates a random label distribution the way Section 6 of the
+// paper does for synthetic data: draw random probabilities p₁…p_|Σ|, weigh
+// them by a Zipf law p'ᵢ = pᵢ/i to introduce skew, normalize, and assign the
+// resulting probabilities to labels in random order.
+func ZipfDist(rng *rand.Rand, n int) Dist {
+	if n <= 0 {
+		return Dist{}
+	}
+	ps := make([]float64, n)
+	sum := 0.0
+	for i := range ps {
+		p := rng.Float64() / float64(i+1)
+		ps[i] = p
+		sum += p
+	}
+	// Guard against the (measure-zero) all-zeros draw.
+	if sum == 0 {
+		return Point(LabelID(rng.Intn(n)))
+	}
+	perm := rng.Perm(n)
+	entries := make([]LabelProb, 0, n)
+	for i, p := range ps {
+		if p == 0 {
+			continue
+		}
+		entries = append(entries, LabelProb{Label: LabelID(perm[i]), P: p / sum})
+	}
+	return MustDist(entries...)
+}
+
+// ZipfProb generates a single random existence probability skewed the same
+// way the paper skews edge probabilities: a uniform draw damped by a Zipf
+// weight for a random rank among n. The result is clamped away from zero so
+// edges never silently vanish.
+func ZipfProb(rng *rand.Rand, n int) float64 {
+	if n <= 1 {
+		return rng.Float64()
+	}
+	rank := rng.Intn(n) + 1
+	p := rng.Float64() / float64(rank)
+	// Normalize back into a useful range: the expected maximum of the
+	// weighted draw is 1 (rank 1), so rescale mildly rather than strictly.
+	if p < 0.01 {
+		p = 0.01
+	}
+	return p
+}

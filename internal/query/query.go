@@ -1,0 +1,246 @@
+// Package query implements labeled query graphs (Section 4) and the query
+// statistics of Section 5.2 used for pruning: per-node neighborhood label
+// counts, and per-path neighbors, reverse neighbors, cycles, degree, and
+// density.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prob"
+)
+
+// NodeID identifies a query node.
+type NodeID int32
+
+// Query is an undirected, labeled query graph Q = (VQ, EQ, lQ).
+type Query struct {
+	labels []prob.LabelID
+	adj    [][]NodeID
+	nEdges int
+}
+
+// New creates an empty query.
+func New() *Query { return &Query{} }
+
+// AddNode adds a node with the given label and returns its id.
+func (q *Query) AddNode(l prob.LabelID) NodeID {
+	q.labels = append(q.labels, l)
+	q.adj = append(q.adj, nil)
+	return NodeID(len(q.labels) - 1)
+}
+
+// AddEdge adds an undirected edge. Duplicate edges and self loops are
+// rejected.
+func (q *Query) AddEdge(a, b NodeID) error {
+	if a == b {
+		return fmt.Errorf("query: self loop on node %d", a)
+	}
+	if err := q.check(a); err != nil {
+		return err
+	}
+	if err := q.check(b); err != nil {
+		return err
+	}
+	if q.HasEdge(a, b) {
+		return fmt.Errorf("query: duplicate edge (%d,%d)", a, b)
+	}
+	q.adj[a] = insertSorted(q.adj[a], b)
+	q.adj[b] = insertSorted(q.adj[b], a)
+	q.nEdges++
+	return nil
+}
+
+func insertSorted(s []NodeID, v NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func (q *Query) check(n NodeID) error {
+	if n < 0 || int(n) >= len(q.labels) {
+		return fmt.Errorf("query: unknown node %d", n)
+	}
+	return nil
+}
+
+// NumNodes returns |VQ|.
+func (q *Query) NumNodes() int { return len(q.labels) }
+
+// NumEdges returns |EQ|.
+func (q *Query) NumEdges() int { return q.nEdges }
+
+// Label returns lQ(n).
+func (q *Query) Label(n NodeID) prob.LabelID { return q.labels[n] }
+
+// Neighbors returns the sorted neighbor list of n (not to be modified).
+func (q *Query) Neighbors(n NodeID) []NodeID { return q.adj[n] }
+
+// Degree returns the degree of n.
+func (q *Query) Degree(n NodeID) int { return len(q.adj[n]) }
+
+// HasEdge reports whether (a,b) ∈ EQ.
+func (q *Query) HasEdge(a, b NodeID) bool {
+	nbs := q.adj[a]
+	i := sort.Search(len(nbs), func(i int) bool { return nbs[i] >= b })
+	return i < len(nbs) && nbs[i] == b
+}
+
+// Edges returns all edges with a < b, sorted.
+func (q *Query) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, q.nEdges)
+	for a := NodeID(0); int(a) < len(q.adj); a++ {
+		for _, b := range q.adj[a] {
+			if a < b {
+				out = append(out, [2]NodeID{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether the query graph is connected (single-node
+// queries are connected; the empty query is not).
+func (q *Query) Connected() bool {
+	n := len(q.labels)
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range q.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	return count == n
+}
+
+// Validate checks structural sanity against an alphabet.
+func (q *Query) Validate(a *prob.Alphabet) error {
+	if len(q.labels) == 0 {
+		return fmt.Errorf("query: empty query")
+	}
+	for i, l := range q.labels {
+		if l < 0 || int(l) >= a.Len() {
+			return fmt.Errorf("query: node %d has label %d outside alphabet", i, l)
+		}
+	}
+	return nil
+}
+
+// NeighborLabelCount returns c(n,σ): the number of neighbors of n labeled σ
+// (the node-level query statistic of Section 5.2.2).
+func (q *Query) NeighborLabelCount(n NodeID, sigma prob.LabelID) int {
+	c := 0
+	for _, m := range q.adj[n] {
+		if q.labels[m] == sigma {
+			c++
+		}
+	}
+	return c
+}
+
+// NeighborLabelCounts returns c(n,·) as a dense slice indexed by label.
+func (q *Query) NeighborLabelCounts(n NodeID, nLabels int) []int {
+	out := make([]int, nLabels)
+	for _, m := range q.adj[n] {
+		out[q.labels[m]]++
+	}
+	return out
+}
+
+// PathInfo bundles the path-level statistics of Sections 5.2.1 and 5.2.2 for
+// one query path.
+type PathInfo struct {
+	// Degree is the path degree: Σ degree(n) − 2·length(P).
+	Degree int
+	// Density is 2K / (M(M−1)) where K counts query edges among path nodes.
+	Density float64
+	// Neighbors is Γ(P): query nodes off the path adjacent to it, sorted.
+	Neighbors []NodeID
+	// Reverse maps each m ∈ Γ(P) to rv(P,m): the positions on the path
+	// adjacent to m, ascending.
+	Reverse map[NodeID][]int
+	// Cycles lists the path cycle chords as position pairs (i,j), i+2 ≤ j,
+	// where (P[i], P[j]) ∈ EQ. Each chord appears exactly once.
+	Cycles [][2]int
+}
+
+// PathStats computes PathInfo for the query path with the given node
+// positions. The nodes must form a path in Q (consecutive nodes adjacent).
+func (q *Query) PathStats(path []NodeID) (PathInfo, error) {
+	for i := 0; i+1 < len(path); i++ {
+		if !q.HasEdge(path[i], path[i+1]) {
+			return PathInfo{}, fmt.Errorf("query: nodes %d,%d not adjacent", path[i], path[i+1])
+		}
+	}
+	on := make(map[NodeID]int, len(path))
+	for i, n := range path {
+		on[n] = i
+	}
+	if len(on) != len(path) {
+		return PathInfo{}, fmt.Errorf("query: path repeats a node")
+	}
+	info := PathInfo{Reverse: make(map[NodeID][]int)}
+
+	deg := 0
+	for _, n := range path {
+		deg += len(q.adj[n])
+	}
+	info.Degree = deg - 2*(len(path)-1)
+
+	// K: query edges among path nodes (path edges + chords).
+	k := 0
+	for i, n := range path {
+		for _, m := range q.adj[n] {
+			if j, ok := on[m]; ok {
+				if j > i {
+					k++
+					if j > i+1 {
+						info.Cycles = append(info.Cycles, [2]int{i, j})
+					}
+				}
+			} else {
+				info.Reverse[m] = append(info.Reverse[m], i)
+			}
+		}
+	}
+	mNodes := len(path)
+	if mNodes > 1 {
+		info.Density = 2 * float64(k) / float64(mNodes*(mNodes-1))
+	} else {
+		info.Density = 1
+	}
+	for m := range info.Reverse {
+		info.Neighbors = append(info.Neighbors, m)
+	}
+	sort.Slice(info.Neighbors, func(i, j int) bool { return info.Neighbors[i] < info.Neighbors[j] })
+	sort.Slice(info.Cycles, func(i, j int) bool {
+		if info.Cycles[i][0] != info.Cycles[j][0] {
+			return info.Cycles[i][0] < info.Cycles[j][0]
+		}
+		return info.Cycles[i][1] < info.Cycles[j][1]
+	})
+	return info, nil
+}
+
+// Labels returns the label sequence of a node sequence.
+func (q *Query) Labels(path []NodeID) []prob.LabelID {
+	out := make([]prob.LabelID, len(path))
+	for i, n := range path {
+		out[i] = q.labels[n]
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package refgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/prob"
+)
+
+// Binary snapshot format. A PGD file is the offline phase's input artifact
+// (cmd/peggen writes one, cmd/pegbuild reads it).
+const (
+	magic   = "PGD1"
+	version = 1
+)
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) u8(v uint8) {
+	if b.err == nil {
+		b.err = b.w.WriteByte(v)
+	}
+}
+
+func (b *binWriter) u32(v uint32) {
+	if b.err == nil {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		_, b.err = b.w.Write(buf[:])
+	}
+}
+
+func (b *binWriter) f64(v float64) {
+	if b.err == nil {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		_, b.err = b.w.Write(buf[:])
+	}
+}
+
+func (b *binWriter) str(s string) {
+	b.u32(uint32(len(s)))
+	if b.err == nil {
+		_, b.err = b.w.WriteString(s)
+	}
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) u8() uint8 {
+	if b.err != nil {
+		return 0
+	}
+	v, err := b.r.ReadByte()
+	b.err = err
+	return v
+}
+
+func (b *binReader) u32() uint32 {
+	if b.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	_, b.err = io.ReadFull(b.r, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (b *binReader) f64() float64 {
+	if b.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	_, b.err = io.ReadFull(b.r, buf[:])
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+func (b *binReader) str() string {
+	n := b.u32()
+	if b.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		b.err = fmt.Errorf("refgraph: string length %d too large", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	_, b.err = io.ReadFull(b.r, buf)
+	return string(buf)
+}
+
+// Save writes the PGD as a versioned binary snapshot. The merge functions
+// are not serialized (they are code); Load restores the defaults and callers
+// may override with SetMerge.
+func (g *PGD) Save(w io.Writer) error {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	bw.str(magic)
+	bw.u8(version)
+
+	names := g.alphabet.Names()
+	bw.u32(uint32(len(names)))
+	for _, n := range names {
+		bw.str(n)
+	}
+
+	bw.u32(uint32(len(g.labels)))
+	for _, d := range g.labels {
+		es := d.Entries()
+		bw.u32(uint32(len(es)))
+		for _, e := range es {
+			bw.u32(uint32(e.Label))
+			bw.f64(e.P)
+		}
+	}
+
+	bw.u32(uint32(len(g.edges)))
+	g.Edges(func(k EdgeKey, e EdgeDist) bool {
+		bw.u32(uint32(k.A))
+		bw.u32(uint32(k.B))
+		bw.f64(e.P)
+		if e.CPT != nil {
+			bw.u8(1)
+			for _, p := range e.CPT {
+				bw.f64(p)
+			}
+		} else {
+			bw.u8(0)
+		}
+		return true
+	})
+
+	bw.u32(uint32(len(g.sets)))
+	for _, s := range g.sets {
+		bw.u32(uint32(len(s.Members)))
+		for _, m := range s.Members {
+			bw.u32(uint32(m))
+		}
+		bw.f64(s.P)
+	}
+
+	bw.u32(uint32(len(g.singletonPrior)))
+	for r, p := range g.singletonPrior {
+		bw.u32(uint32(r))
+		bw.f64(p)
+	}
+
+	if bw.err != nil {
+		return fmt.Errorf("refgraph: save: %w", bw.err)
+	}
+	return bw.w.Flush()
+}
+
+// Load reads a PGD binary snapshot written by Save.
+func Load(r io.Reader) (*PGD, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	if m := br.str(); br.err == nil && m != magic {
+		return nil, fmt.Errorf("refgraph: bad magic %q", m)
+	}
+	if v := br.u8(); br.err == nil && v != version {
+		return nil, fmt.Errorf("refgraph: unsupported version %d", v)
+	}
+
+	nLabels := br.u32()
+	if br.err != nil {
+		return nil, fmt.Errorf("refgraph: load header: %w", br.err)
+	}
+	names := make([]string, nLabels)
+	for i := range names {
+		names[i] = br.str()
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("refgraph: load alphabet: %w", br.err)
+	}
+	alpha, err := prob.NewAlphabet(names...)
+	if err != nil {
+		return nil, fmt.Errorf("refgraph: load alphabet: %w", err)
+	}
+	g := New(alpha)
+
+	nRefs := br.u32()
+	for i := uint32(0); i < nRefs && br.err == nil; i++ {
+		nEnt := br.u32()
+		entries := make([]prob.LabelProb, nEnt)
+		for j := range entries {
+			entries[j].Label = prob.LabelID(br.u32())
+			entries[j].P = br.f64()
+		}
+		if br.err != nil {
+			break
+		}
+		d, err := prob.NewDist(entries...)
+		if err != nil {
+			return nil, fmt.Errorf("refgraph: load reference %d: %w", i, err)
+		}
+		g.AddReference(d)
+	}
+
+	nEdges := br.u32()
+	cptLen := alpha.Len() * alpha.Len()
+	for i := uint32(0); i < nEdges && br.err == nil; i++ {
+		a := RefID(br.u32())
+		b := RefID(br.u32())
+		e := EdgeDist{P: br.f64()}
+		if br.u8() == 1 {
+			e.CPT = make([]float64, cptLen)
+			for j := range e.CPT {
+				e.CPT[j] = br.f64()
+			}
+		}
+		if br.err != nil {
+			break
+		}
+		if err := g.AddEdge(a, b, e); err != nil {
+			return nil, fmt.Errorf("refgraph: load edge: %w", err)
+		}
+	}
+
+	nSets := br.u32()
+	for i := uint32(0); i < nSets && br.err == nil; i++ {
+		nm := br.u32()
+		members := make([]RefID, nm)
+		for j := range members {
+			members[j] = RefID(br.u32())
+		}
+		p := br.f64()
+		if br.err != nil {
+			break
+		}
+		if _, err := g.AddReferenceSet(members, p); err != nil {
+			return nil, fmt.Errorf("refgraph: load set: %w", err)
+		}
+	}
+
+	nPriors := br.u32()
+	for i := uint32(0); i < nPriors && br.err == nil; i++ {
+		r := RefID(br.u32())
+		p := br.f64()
+		if br.err != nil {
+			break
+		}
+		if err := g.SetSingletonPrior(r, p); err != nil {
+			return nil, fmt.Errorf("refgraph: load prior: %w", err)
+		}
+	}
+
+	if br.err != nil {
+		return nil, fmt.Errorf("refgraph: load: %w", br.err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("refgraph: load: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,220 @@
+package refgraph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/prob"
+)
+
+func tinyPGD(t *testing.T) *PGD {
+	t.Helper()
+	alpha := prob.MustAlphabet("a", "b")
+	d := New(alpha)
+	r0 := d.AddReference(prob.Point(0))
+	r1 := d.AddReference(prob.MustDist(prob.LabelProb{Label: 0, P: 0.3}, prob.LabelProb{Label: 1, P: 0.7}))
+	r2 := d.AddReference(prob.Point(1))
+	if err := d.AddEdge(r0, r1, EdgeDist{P: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(r1, r2, EdgeDist{P: 0.9, CPT: []float64{0.9, 0.5, 0.5, 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddReferenceSet([]RefID{r0, r2}, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetSingletonPrior(r1, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPGDBasics(t *testing.T) {
+	d := tinyPGD(t)
+	if d.NumRefs() != 3 || d.NumEdges() != 2 || d.NumSets() != 1 {
+		t.Fatalf("counts: %d refs, %d edges, %d sets", d.NumRefs(), d.NumEdges(), d.NumSets())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, ok := d.Edge(1, 0); !ok {
+		t.Error("edge (1,0) not found via canonical key")
+	}
+	if _, ok := d.Edge(0, 2); ok {
+		t.Error("phantom edge found")
+	}
+	s := d.Set(0)
+	if len(s.Members) != 2 || s.P != 0.4 {
+		t.Errorf("set = %+v", s)
+	}
+	if p := d.SingletonPrior(1); p != 0.6 {
+		t.Errorf("SingletonPrior(1) = %v", p)
+	}
+	if p := d.SingletonPrior(0); p != 1 {
+		t.Errorf("SingletonPrior(0) = %v, want default 1", p)
+	}
+}
+
+func TestPGDErrors(t *testing.T) {
+	alpha := prob.MustAlphabet("a")
+	d := New(alpha)
+	r0 := d.AddReference(prob.Point(0))
+	if err := d.AddEdge(r0, r0, EdgeDist{P: 0.5}); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := d.AddEdge(r0, 99, EdgeDist{P: 0.5}); err == nil {
+		t.Error("unknown reference accepted")
+	}
+	if err := d.AddEdge(r0, r0+1, EdgeDist{P: 1.5}); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	if _, err := d.AddReferenceSet([]RefID{r0}, 0.5); err == nil {
+		t.Error("singleton reference set accepted")
+	}
+	if _, err := d.AddReferenceSet([]RefID{r0, r0}, 0.5); err == nil {
+		t.Error("duplicate-member set accepted")
+	}
+	if err := d.SetSingletonPrior(r0, 2); err == nil {
+		t.Error("out-of-range prior accepted")
+	}
+	if err := d.SetSingletonPrior(42, 0.5); err == nil {
+		t.Error("unknown reference prior accepted")
+	}
+}
+
+func TestEdgeDistCPTValidation(t *testing.T) {
+	alpha := prob.MustAlphabet("a", "b")
+	d := New(alpha)
+	r0 := d.AddReference(prob.Point(0))
+	r1 := d.AddReference(prob.Point(1))
+	// Wrong size.
+	if err := d.AddEdge(r0, r1, EdgeDist{P: 0.5, CPT: []float64{0.1}}); err == nil {
+		t.Error("wrong-size CPT accepted")
+	}
+	// Asymmetric.
+	if err := d.AddEdge(r0, r1, EdgeDist{P: 0.5, CPT: []float64{0.1, 0.2, 0.3, 0.4}}); err == nil {
+		t.Error("asymmetric CPT accepted")
+	}
+	// Out of range.
+	if err := d.AddEdge(r0, r1, EdgeDist{P: 0.5, CPT: []float64{0.1, 2, 2, 0.4}}); err == nil {
+		t.Error("out-of-range CPT accepted")
+	}
+}
+
+func TestEdgeDistProb(t *testing.T) {
+	e := EdgeDist{P: 0.5}
+	if p := e.Prob(0, 1, 2); p != 0.5 {
+		t.Errorf("unconditional Prob = %v", p)
+	}
+	if m := e.Max(); m != 0.5 {
+		t.Errorf("unconditional Max = %v", m)
+	}
+	c := EdgeDist{P: 0.5, CPT: []float64{0.9, 0.2, 0.2, 0.7}}
+	if p := c.Prob(0, 1, 2); p != 0.2 {
+		t.Errorf("CPT Prob(0,1) = %v", p)
+	}
+	if m := c.Max(); m != 0.9 {
+		t.Errorf("CPT Max = %v", m)
+	}
+}
+
+func TestMakeEdgeKey(t *testing.T) {
+	if k := MakeEdgeKey(5, 2); k.A != 2 || k.B != 5 {
+		t.Errorf("MakeEdgeKey(5,2) = %+v", k)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := tinyPGD(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.NumRefs() != d.NumRefs() || got.NumEdges() != d.NumEdges() || got.NumSets() != d.NumSets() {
+		t.Fatalf("round-trip counts differ")
+	}
+	if !got.RefLabel(1).Equal(d.RefLabel(1)) {
+		t.Errorf("reference 1 label dist differs: %v vs %v", got.RefLabel(1), d.RefLabel(1))
+	}
+	e, ok := got.Edge(1, 2)
+	if !ok || e.CPT == nil {
+		t.Fatalf("CPT edge lost: %+v ok=%v", e, ok)
+	}
+	if math.Abs(e.CPT[1]-0.5) > 1e-12 {
+		t.Errorf("CPT cell differs: %v", e.CPT)
+	}
+	if p := got.SingletonPrior(1); p != 0.6 {
+		t.Errorf("singleton prior lost: %v", p)
+	}
+	if got.Alphabet().Name(1) != "b" {
+		t.Errorf("alphabet lost: %v", got.Alphabet().Names())
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("garbage data here"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated valid prefix.
+	d := tinyPGD(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{0, 1, 5, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncated snapshot (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestSaveLoadRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alpha := prob.MustAlphabet("a", "b", "c")
+	for trial := 0; trial < 20; trial++ {
+		d := New(alpha)
+		n := rng.Intn(20) + 2
+		for i := 0; i < n; i++ {
+			d.AddReference(prob.ZipfDist(rng, 3))
+		}
+		for i := 0; i < n; i++ {
+			a, b := RefID(rng.Intn(n)), RefID(rng.Intn(n))
+			if a != b {
+				if err := d.AddEdge(a, b, EdgeDist{P: rng.Float64()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if n >= 4 {
+			if _, err := d.AddReferenceSet([]RefID{0, 1}, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := d.Save(&buf); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if got.NumRefs() != d.NumRefs() || got.NumEdges() != d.NumEdges() {
+			t.Fatalf("trial %d: counts differ", trial)
+		}
+		d.Edges(func(k EdgeKey, e EdgeDist) bool {
+			ge, ok := got.Edge(k.A, k.B)
+			if !ok || math.Abs(ge.P-e.P) > 1e-12 {
+				t.Errorf("trial %d: edge %v differs", trial, k)
+				return false
+			}
+			return true
+		})
+	}
+}

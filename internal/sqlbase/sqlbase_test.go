@@ -1,0 +1,111 @@
+package sqlbase
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/fixtures"
+	"repro/internal/gen"
+	"repro/internal/naive"
+	"repro/internal/query"
+)
+
+func TestMotivatingExample(t *testing.T) {
+	g, err := fixtures.MotivatingGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := g.Alphabet()
+	q := query.New()
+	q1 := q.AddNode(alpha.ID("r"))
+	q2 := q.AddNode(alpha.ID("a"))
+	q3 := q.AddNode(alpha.ID("i"))
+	if err := q.AddEdge(q1, q2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(q2, q3); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	ms, err := db.Query(context.Background(), q, fixtures.MotivatingAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Mapping[0] != fixtures.S34 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	if math.Abs(ms[0].Pr()-0.2025) > 1e-9 {
+		t.Errorf("Pr = %v", ms[0].Pr())
+	}
+}
+
+// The relational engine must agree with the brute-force matcher on random
+// graphs (it is another, slower, oracle).
+func TestAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5; trial++ {
+		d, err := gen.Synthetic(gen.SynthOptions{Refs: 40, Labels: 3, Groups: 3, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := entity.Build(d, entity.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := gen.RandomQuery(rng, 3, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := naive.Matches(context.Background(), g, q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := NewDB(g)
+		got, err := db.Query(context.Background(), q, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: sqlbase %d matches, naive %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			for j := range got[i].Mapping {
+				if got[i].Mapping[j] != want[i].Mapping[j] {
+					t.Fatalf("trial %d: match %d differs", trial, i)
+				}
+			}
+			if math.Abs(got[i].Pr()-want[i].Pr()) > 1e-9 {
+				t.Fatalf("trial %d: probability differs", trial)
+			}
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	d, err := gen.Synthetic(gen.SynthOptions{Refs: 2000, Labels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := gen.RandomQuery(rand.New(rand.NewSource(2)), 2, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(g)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = db.Query(ctx, q, 0.9)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Either it finished very fast or it was cut off; both are acceptable,
+	// but a cut-off run must report the deadline error.
+}

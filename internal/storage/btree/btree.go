@@ -1,0 +1,457 @@
+// Package btree implements a disk-backed B+ tree on top of the pager: the
+// ordered key/value store used as the second level of the paper's two-level
+// path index (label sequence → hash level; probability bucket → B+ tree
+// range scans). It replaces the paper's use of KyotoCabinet.
+//
+// Keys are unique byte strings ordered lexicographically (bytes.Compare).
+// Values are byte strings. Leaves are chained for range scans.
+//
+// Deletion removes entries without rebalancing (pages may underflow); the
+// path index is append-only, so space reclamation is not needed, but Delete
+// is provided for completeness and tested for correctness.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage/pager"
+)
+
+const (
+	leafType     = 1
+	internalType = 2
+)
+
+// Tree is a B+ tree. It is not safe for concurrent use.
+type Tree struct {
+	pg    *pager.Pager
+	root  pager.PageID
+	count uint64
+	maxKV int
+}
+
+// Create initializes a new tree in the pager, storing its root and entry
+// count in the pager's metadata area.
+func Create(pg *pager.Pager) (*Tree, error) {
+	t := &Tree{pg: pg, maxKV: maxKVFor(pg.PageSize())}
+	rootPage, err := pg.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: rootPage.ID, leaf: true}
+	n.encode(rootPage.Data)
+	rootPage.MarkDirty()
+	pg.Release(rootPage)
+	t.root = n.id
+	if err := t.saveMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open attaches to a tree previously created in the pager.
+func Open(pg *pager.Pager) (*Tree, error) {
+	meta := pg.Meta()
+	root := pager.PageID(binary.LittleEndian.Uint64(meta[0:]))
+	if root == pager.InvalidPage {
+		return nil, errors.New("btree: no tree in pager metadata")
+	}
+	return &Tree{
+		pg:    pg,
+		root:  root,
+		count: binary.LittleEndian.Uint64(meta[8:]),
+		maxKV: maxKVFor(pg.PageSize()),
+	}, nil
+}
+
+func maxKVFor(pageSize int) int {
+	// A page must hold at least four cells so splits always make progress.
+	return (pageSize - 32) / 4
+}
+
+func (t *Tree) saveMeta() error {
+	meta := t.pg.Meta()
+	binary.LittleEndian.PutUint64(meta[0:], uint64(t.root))
+	binary.LittleEndian.PutUint64(meta[8:], t.count)
+	t.pg.SetMeta(meta)
+	return nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() uint64 { return t.count }
+
+// Sync persists metadata and flushes the pager.
+func (t *Tree) Sync() error {
+	if err := t.saveMeta(); err != nil {
+		return err
+	}
+	return t.pg.Sync()
+}
+
+// node is the decoded in-memory form of a page.
+type node struct {
+	id       pager.PageID
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte       // leaf only
+	children []pager.PageID // internal only; len = len(keys)+1
+	next     pager.PageID   // leaf only
+}
+
+func (n *node) encodedSize() int {
+	sz := 1 + 2 // type + count
+	if n.leaf {
+		sz += 8 // next pointer
+		for i := range n.keys {
+			sz += 2 + len(n.keys[i]) + 2 + len(n.vals[i])
+		}
+	} else {
+		sz += 8 // children[0]
+		for i := range n.keys {
+			sz += 2 + len(n.keys[i]) + 8
+		}
+	}
+	return sz
+}
+
+func (n *node) encode(buf []byte) {
+	if n.leaf {
+		buf[0] = leafType
+	} else {
+		buf[0] = internalType
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := 3
+	if n.leaf {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(n.next))
+		off += 8
+		for i := range n.keys {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(n.keys[i])))
+			off += 2
+			off += copy(buf[off:], n.keys[i])
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(n.vals[i])))
+			off += 2
+			off += copy(buf[off:], n.vals[i])
+		}
+	} else {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(n.children[0]))
+		off += 8
+		for i := range n.keys {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(n.keys[i])))
+			off += 2
+			off += copy(buf[off:], n.keys[i])
+			binary.LittleEndian.PutUint64(buf[off:], uint64(n.children[i+1]))
+			off += 8
+		}
+	}
+	// Zero the remainder so stale bytes never persist.
+	for i := off; i < len(buf); i++ {
+		buf[i] = 0
+	}
+}
+
+func decode(id pager.PageID, buf []byte) (*node, error) {
+	n := &node{id: id}
+	switch buf[0] {
+	case leafType:
+		n.leaf = true
+	case internalType:
+	default:
+		return nil, fmt.Errorf("btree: page %d has invalid node type %d", id, buf[0])
+	}
+	count := int(binary.LittleEndian.Uint16(buf[1:]))
+	off := 3
+	if n.leaf {
+		n.next = pager.PageID(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		n.keys = make([][]byte, count)
+		n.vals = make([][]byte, count)
+		for i := 0; i < count; i++ {
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+			off += kl
+			vl := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			n.vals[i] = append([]byte(nil), buf[off:off+vl]...)
+			off += vl
+		}
+	} else {
+		n.children = make([]pager.PageID, count+1)
+		n.children[0] = pager.PageID(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		n.keys = make([][]byte, count)
+		for i := 0; i < count; i++ {
+			kl := int(binary.LittleEndian.Uint16(buf[off:]))
+			off += 2
+			n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+			off += kl
+			n.children[i+1] = pager.PageID(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return n, nil
+}
+
+func (t *Tree) load(id pager.PageID) (*node, error) {
+	pg, err := t.pg.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decode(id, pg.Data)
+	t.pg.Release(pg)
+	return n, err
+}
+
+func (t *Tree) store(n *node) error {
+	pg, err := t.pg.Get(n.id)
+	if err != nil {
+		return err
+	}
+	n.encode(pg.Data)
+	pg.MarkDirty()
+	t.pg.Release(pg)
+	return nil
+}
+
+func (t *Tree) allocNode(leaf bool) (*node, error) {
+	pg, err := t.pg.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: pg.ID, leaf: leaf}
+	t.pg.Release(pg)
+	return n, nil
+}
+
+// Put inserts or replaces the value for key.
+func (t *Tree) Put(key, val []byte) error {
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	if len(key) > t.maxKV || len(val) > t.maxKV {
+		return fmt.Errorf("btree: key/value too large (%d/%d, max %d)", len(key), len(val), t.maxKV)
+	}
+	promoted, right, inserted, err := t.insert(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if right != pager.InvalidPage {
+		// Root split: grow the tree.
+		newRoot, err := t.allocNode(false)
+		if err != nil {
+			return err
+		}
+		newRoot.keys = [][]byte{promoted}
+		newRoot.children = []pager.PageID{t.root, right}
+		if err := t.store(newRoot); err != nil {
+			return err
+		}
+		t.root = newRoot.id
+	}
+	if inserted {
+		t.count++
+	}
+	return t.saveMeta()
+}
+
+// insert descends into page id. It returns a promoted separator key and new
+// right sibling page when the child split, plus whether a new entry was
+// inserted (false on replace).
+func (t *Tree) insert(id pager.PageID, key, val []byte) ([]byte, pager.PageID, bool, error) {
+	n, err := t.load(id)
+	if err != nil {
+		return nil, pager.InvalidPage, false, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		inserted := true
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = append([]byte(nil), val...)
+			inserted = false
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = append([]byte(nil), key...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = append([]byte(nil), val...)
+		}
+		return t.finishInsert(n, inserted)
+	}
+
+	ci := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+	promoted, right, inserted, err := t.insert(n.children[ci], key, val)
+	if err != nil {
+		return nil, pager.InvalidPage, false, err
+	}
+	if right == pager.InvalidPage {
+		return nil, pager.InvalidPage, inserted, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = promoted
+	n.children = append(n.children, pager.InvalidPage)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	return t.finishInsert(n, inserted)
+}
+
+// finishInsert stores n, splitting it first if it no longer fits its page.
+func (t *Tree) finishInsert(n *node, inserted bool) ([]byte, pager.PageID, bool, error) {
+	if n.encodedSize() <= t.pg.PageSize() {
+		if err := t.store(n); err != nil {
+			return nil, pager.InvalidPage, false, err
+		}
+		return nil, pager.InvalidPage, inserted, nil
+	}
+	promoted, right, err := t.split(n)
+	if err != nil {
+		return nil, pager.InvalidPage, false, err
+	}
+	return promoted, right, inserted, nil
+}
+
+// split divides an overflowing node into two, returning the separator key
+// and the new right sibling's page id.
+func (t *Tree) split(n *node) ([]byte, pager.PageID, error) {
+	right, err := t.allocNode(n.leaf)
+	if err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	mid := len(n.keys) / 2
+	var sep []byte
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		right.next = n.next
+		n.next = right.id
+		sep = append([]byte(nil), right.keys[0]...)
+	} else {
+		// The middle key moves up and does not stay in either half.
+		sep = n.keys[mid]
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+	if err := t.store(n); err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	if err := t.store(right); err != nil {
+		return nil, pager.InvalidPage, err
+	}
+	return sep, right.id, nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				return n.vals[i], true, nil
+			}
+			return nil, false, nil
+		}
+		ci := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+		id = n.children[ci]
+	}
+}
+
+// Delete removes key, reporting whether it was present. Pages are not
+// rebalanced or reclaimed.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+				return false, nil
+			}
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			if err := t.store(n); err != nil {
+				return false, err
+			}
+			t.count--
+			return true, t.saveMeta()
+		}
+		ci := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+		id = n.children[ci]
+	}
+}
+
+// Scan calls fn for every entry with lo ≤ key < hi in key order. A nil hi
+// scans to the end. Iteration stops early when fn returns false. The key and
+// value slices passed to fn are owned by the iteration and must not be
+// retained.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			return t.scanLeaves(n, lo, hi, fn)
+		}
+		ci := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) > 0 })
+		id = n.children[ci]
+	}
+}
+
+func (t *Tree) scanLeaves(n *node, lo, hi []byte, fn func(key, val []byte) bool) error {
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) >= 0 })
+	for {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return nil
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return nil
+			}
+		}
+		if n.next == pager.InvalidPage {
+			return nil
+		}
+		var err error
+		n, err = t.load(n.next)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// Height returns the tree height (1 for a lone leaf), for diagnostics.
+func (t *Tree) Height() (int, error) {
+	h := 1
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return h, nil
+		}
+		h++
+		id = n.children[0]
+	}
+}

@@ -1,0 +1,333 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/storage/pager"
+)
+
+func newTree(t *testing.T) (*Tree, *pager.Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.btree")
+	pg, err := pager.Open(path, pager.Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatalf("pager.Open: %v", err)
+	}
+	tr, err := Create(pg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return tr, pg, path
+}
+
+func TestPutGet(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	if err := tr.Put([]byte("alpha"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put([]byte("beta"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("alpha"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get(alpha) = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := tr.Get([]byte("gamma")); ok {
+		t.Error("phantom key found")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	key := []byte("k")
+	if err := tr.Put(key, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Put(key, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tr.Get(key)
+	if !ok || string(v) != "new" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after replace", tr.Len())
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	if err := tr.Put(nil, []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+	big := make([]byte, 4096)
+	if err := tr.Put(big, []byte("v")); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := tr.Put([]byte("k"), big); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+func TestSplitsAndOrder(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	const n = 2000
+	perm := rand.New(rand.NewSource(7)).Perm(n)
+	for _, i := range perm {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v := []byte(fmt.Sprintf("val-%d", i))
+		if err := tr.Put(k, v); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Errorf("height %d suggests splits never happened", h)
+	}
+	// Full scan must return all keys in order.
+	var got []string
+	err = tr.Scan([]byte("key-"), nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan returned %d keys, want %d", len(got), n)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Error("scan output not sorted")
+	}
+	// Point lookups after splits.
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		v, ok, err := tr.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = %v %v", k, ok, err)
+		}
+		if want := fmt.Sprintf("val-%d", i); string(v) != want {
+			t.Errorf("Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("%03d", i))
+		if err := tr.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Scan([]byte("010"), []byte("020"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "010" || got[9] != "019" {
+		t.Errorf("range scan = %v", got)
+	}
+	// Early stop.
+	count := 0
+	err = tr.Scan([]byte("000"), nil, func(k, v []byte) bool {
+		count++
+		return count < 5
+	})
+	if err != nil || count != 5 {
+		t.Errorf("early stop: count=%d err=%v", count, err)
+	}
+	// Empty range.
+	count = 0
+	if err := tr.Scan([]byte("200"), nil, func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("scan past end returned %d entries", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("%04d", i))
+		if err := tr.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete([]byte("0100"))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v %v", ok, err)
+	}
+	if _, found, _ := tr.Get([]byte("0100")); found {
+		t.Error("deleted key still present")
+	}
+	if tr.Len() != 299 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	ok, err = tr.Delete([]byte("absent"))
+	if err != nil || ok {
+		t.Errorf("Delete(absent) = %v %v", ok, err)
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	tr, pg, path := newTree(t)
+	for i := 0; i < 500; i++ {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		if err := tr.Put(k[:], []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg2, err := pager.Open(path, pager.Options{PageSize: 512, CachePages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Close()
+	tr2, err := Open(pg2)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if tr2.Len() != 500 {
+		t.Fatalf("reopened Len = %d", tr2.Len())
+	}
+	for _, i := range []int{0, 77, 499} {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], uint64(i))
+		v, ok, err := tr2.Get(k[:])
+		if err != nil || !ok || string(v) != fmt.Sprint(i) {
+			t.Errorf("Get(%d) after reopen = %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestOpenWithoutTree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no.btree")
+	pg, err := pager.Open(path, pager.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	if _, err := Open(pg); err == nil {
+		t.Error("Open on pager without tree succeeded")
+	}
+}
+
+// Model-based property test: random Put/Delete/Get/Scan against a Go map.
+func TestAgainstMapModel(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 5000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(400))
+		switch rng.Intn(4) {
+		case 0, 1: // put
+			v := fmt.Sprintf("v%d", op)
+			if err := tr.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatalf("op %d Put: %v", op, err)
+			}
+			model[k] = v
+		case 2: // delete
+			ok, err := tr.Delete([]byte(k))
+			if err != nil {
+				t.Fatalf("op %d Delete: %v", op, err)
+			}
+			_, inModel := model[k]
+			if ok != inModel {
+				t.Fatalf("op %d Delete(%s) = %v, model has %v", op, k, ok, inModel)
+			}
+			delete(model, k)
+		case 3: // get
+			v, ok, err := tr.Get([]byte(k))
+			if err != nil {
+				t.Fatalf("op %d Get: %v", op, err)
+			}
+			mv, inModel := model[k]
+			if ok != inModel || (ok && string(v) != mv) {
+				t.Fatalf("op %d Get(%s) = %q %v, model %q %v", op, k, v, ok, mv, inModel)
+			}
+		}
+	}
+	if int(tr.Len()) != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	// Final full-scan equivalence.
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	err := tr.Scan([]byte("k"), nil, func(k, v []byte) bool {
+		if i >= len(keys) {
+			t.Fatalf("scan yielded extra key %q", k)
+		}
+		if string(k) != keys[i] || string(v) != model[keys[i]] {
+			t.Fatalf("scan[%d] = (%q,%q), model (%q,%q)", i, k, v, keys[i], model[keys[i]])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("scan yielded %d keys, model has %d", i, len(keys))
+	}
+}
+
+func TestLargeValuesAcrossSplits(t *testing.T) {
+	tr, pg, _ := newTree(t)
+	defer pg.Close()
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("key%04d", i))
+		if err := tr.Put(k, val); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	n := 0
+	err := tr.Scan([]byte("key"), nil, func(k, v []byte) bool {
+		if !bytes.Equal(v, val) {
+			t.Fatalf("value corrupted at %q", k)
+		}
+		n++
+		return true
+	})
+	if err != nil || n != 200 {
+		t.Fatalf("scan: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package hashdict implements the first level of the paper's two-level path
+// index: a persistent dictionary interning label sequences (byte keys) to
+// dense uint64 ids, accessed by equality — the "hash index" of Section 5.1.
+//
+// The on-disk format is an append-only record log (CRC-protected); the hash
+// table itself lives in memory and is rebuilt on Open by replaying the log,
+// truncating any corrupt tail. This is the classic log-structured design
+// (cf. Bitcask) and keeps writes sequential during index construction.
+package hashdict
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+const (
+	magic      = "PEGD"
+	recHeader  = 4 + 4 // crc32 + key length
+	maxKeyLen  = 1 << 16
+	headerSize = 4
+)
+
+// Dict is a persistent string→id dictionary. Ids are assigned densely in
+// insertion order starting at 0. Not safe for concurrent use.
+type Dict struct {
+	f     *os.File
+	ids   map[string]uint64
+	names []string
+	wbuf  []byte
+	ro    bool
+}
+
+// Open opens or creates a dictionary file, replaying existing records.
+func Open(path string) (*Dict, error) { return open(path, false) }
+
+// OpenReadOnly opens an existing dictionary without write access.
+func OpenReadOnly(path string) (*Dict, error) { return open(path, true) }
+
+func open(path string, ro bool) (*Dict, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if ro {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hashdict: %w", err)
+	}
+	d := &Dict{f: f, ids: make(map[string]uint64), ro: ro}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("hashdict: %w", err)
+	}
+	if st.Size() == 0 {
+		if ro {
+			f.Close()
+			return nil, errors.New("hashdict: empty file opened read-only")
+		}
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("hashdict: %w", err)
+		}
+		return d, nil
+	}
+	if err := d.replay(st.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// replay scans the log, loading records until EOF or a corrupt record, then
+// truncates the file to the last valid offset (unless read-only).
+func (d *Dict) replay(size int64) error {
+	hdr := make([]byte, headerSize)
+	if _, err := d.f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("hashdict: read magic: %w", err)
+	}
+	if string(hdr) != magic {
+		return fmt.Errorf("hashdict: bad magic %q", hdr)
+	}
+	off := int64(headerSize)
+	var rec [recHeader]byte
+	for off < size {
+		if _, err := d.f.ReadAt(rec[:], off); err != nil {
+			break
+		}
+		want := binary.LittleEndian.Uint32(rec[0:])
+		klen := binary.LittleEndian.Uint32(rec[4:])
+		if klen == 0 || klen > maxKeyLen || off+recHeader+int64(klen) > size {
+			break
+		}
+		key := make([]byte, klen)
+		if _, err := d.f.ReadAt(key, off+recHeader); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(key) != want {
+			break
+		}
+		d.ids[string(key)] = uint64(len(d.names))
+		d.names = append(d.names, string(key))
+		off += recHeader + int64(klen)
+	}
+	if off < size && !d.ro {
+		// Corrupt or torn tail: drop it.
+		if err := d.f.Truncate(off); err != nil {
+			return fmt.Errorf("hashdict: truncate corrupt tail: %w", err)
+		}
+	}
+	if _, err := d.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("hashdict: %w", err)
+	}
+	return nil
+}
+
+// Intern returns the id for key, assigning and persisting a new one when the
+// key is unseen. The second result reports whether the key already existed.
+func (d *Dict) Intern(key []byte) (uint64, bool, error) {
+	if id, ok := d.ids[string(key)]; ok {
+		return id, true, nil
+	}
+	if d.ro {
+		return 0, false, errors.New("hashdict: intern on read-only dict")
+	}
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return 0, false, fmt.Errorf("hashdict: key length %d out of range", len(key))
+	}
+	d.wbuf = d.wbuf[:0]
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(key))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(key)))
+	d.wbuf = append(d.wbuf, hdr[:]...)
+	d.wbuf = append(d.wbuf, key...)
+	if _, err := d.f.Write(d.wbuf); err != nil {
+		return 0, false, fmt.Errorf("hashdict: append: %w", err)
+	}
+	id := uint64(len(d.names))
+	d.ids[string(key)] = id
+	d.names = append(d.names, string(key))
+	return id, false, nil
+}
+
+// Lookup returns the id for key without inserting.
+func (d *Dict) Lookup(key []byte) (uint64, bool) {
+	id, ok := d.ids[string(key)]
+	return id, ok
+}
+
+// Key returns the key for a previously assigned id.
+func (d *Dict) Key(id uint64) ([]byte, bool) {
+	if id >= uint64(len(d.names)) {
+		return nil, false
+	}
+	return []byte(d.names[id]), true
+}
+
+// Len returns the number of interned keys.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Sync fsyncs the log.
+func (d *Dict) Sync() error {
+	if d.ro {
+		return nil
+	}
+	return d.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (d *Dict) Close() error {
+	if err := d.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

@@ -1,0 +1,201 @@
+package hashdict
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T) (*Dict, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dict.log")
+	d, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d, path
+}
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	for i := 0; i < 10; i++ {
+		id, existed, err := d.Intern([]byte(fmt.Sprintf("key%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if existed {
+			t.Errorf("key%d reported existing", i)
+		}
+		if id != uint64(i) {
+			t.Errorf("key%d got id %d", i, id)
+		}
+	}
+	id, existed, err := d.Intern([]byte("key3"))
+	if err != nil || !existed || id != 3 {
+		t.Errorf("re-intern = %d %v %v", id, existed, err)
+	}
+	if d.Len() != 10 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestLookupAndKey(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	if _, _, err := d.Intern([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := d.Lookup([]byte("abc")); !ok || id != 0 {
+		t.Errorf("Lookup = %d %v", id, ok)
+	}
+	if _, ok := d.Lookup([]byte("missing")); ok {
+		t.Error("phantom lookup")
+	}
+	k, ok := d.Key(0)
+	if !ok || !bytes.Equal(k, []byte("abc")) {
+		t.Errorf("Key(0) = %q %v", k, ok)
+	}
+	if _, ok := d.Key(99); ok {
+		t.Error("Key(99) found")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	d, path := openTemp(t)
+	keys := []string{"a", "bb", "ccc", "d\x00with\x00nuls", "unicode-éß"}
+	for _, k := range keys {
+		if _, _, err := d.Intern([]byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != len(keys) {
+		t.Fatalf("reopened Len = %d, want %d", d2.Len(), len(keys))
+	}
+	for i, k := range keys {
+		id, ok := d2.Lookup([]byte(k))
+		if !ok || id != uint64(i) {
+			t.Errorf("Lookup(%q) = %d %v", k, id, ok)
+		}
+	}
+	// New interns continue the id sequence.
+	id, existed, err := d2.Intern([]byte("fresh"))
+	if err != nil || existed || id != uint64(len(keys)) {
+		t.Errorf("post-reopen intern = %d %v %v", id, existed, err)
+	}
+}
+
+func TestCorruptTailTruncated(t *testing.T) {
+	d, path := openTemp(t)
+	if _, _, err := d.Intern([]byte("good1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Intern([]byte("good2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen with corrupt tail: %v", err)
+	}
+	defer d2.Close()
+	if d2.Len() != 2 {
+		t.Fatalf("Len = %d after corrupt tail, want 2", d2.Len())
+	}
+	// The dict must keep working after truncation.
+	id, existed, err := d2.Intern([]byte("good3"))
+	if err != nil || existed || id != 2 {
+		t.Errorf("intern after truncate = %d %v %v", id, existed, err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(path, []byte("NOPE plus data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	d, path := openTemp(t)
+	if _, _, err := d.Intern([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := OpenReadOnly(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if id, ok := ro.Lookup([]byte("x")); !ok || id != 0 {
+		t.Errorf("ro Lookup = %d %v", id, ok)
+	}
+	if _, _, err := ro.Intern([]byte("new")); err == nil {
+		t.Error("intern on read-only dict succeeded")
+	}
+	// Re-intern of existing key is a lookup and must succeed.
+	if id, existed, err := ro.Intern([]byte("x")); err != nil || !existed || id != 0 {
+		t.Errorf("ro Intern(existing) = %d %v %v", id, existed, err)
+	}
+}
+
+func TestInternValidation(t *testing.T) {
+	d, _ := openTemp(t)
+	defer d.Close()
+	if _, _, err := d.Intern(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestManyKeysPersist(t *testing.T) {
+	d, path := openTemp(t)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, _, err := d.Intern([]byte(fmt.Sprintf("label-seq-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != n {
+		t.Fatalf("Len = %d, want %d", d2.Len(), n)
+	}
+	for _, i := range []int{0, n / 3, n - 1} {
+		if id, ok := d2.Lookup([]byte(fmt.Sprintf("label-seq-%d", i))); !ok || id != uint64(i) {
+			t.Errorf("Lookup(%d) = %d %v", i, id, ok)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package pager implements a disk page manager with an LRU buffer pool:
+// fixed-size pages backed by a single file, pin/unpin access, dirty
+// write-back, a free list, and a small client metadata area in the header.
+//
+// It is the substrate beneath the path index's B+ tree, replacing the
+// paper's use of KyotoCabinet/Neo4j as disk-based stores.
+package pager
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PageID identifies a page within the file. Page 0 is the header and is
+// never handed out.
+type PageID uint64
+
+// InvalidPage is the zero PageID; it doubles as the free-list terminator.
+const InvalidPage PageID = 0
+
+// DefaultPageSize is used when Options.PageSize is zero.
+const DefaultPageSize = 4096
+
+// DefaultCachePages is used when Options.CachePages is zero.
+const DefaultCachePages = 1024
+
+// MetaSize is the number of client metadata bytes stored in the header.
+const MetaSize = 64
+
+const (
+	headerMagic   = "PEGP"
+	headerVersion = 1
+	// header layout: magic(4) version(4) pageSize(8) nPages(8) freeHead(8)
+	// meta(64)
+	headerLen = 4 + 4 + 8 + 8 + 8 + MetaSize
+)
+
+// Page is a pinned page in the buffer pool. Callers may read and write Data
+// and must call Pager.Release exactly once when done; after writing, call
+// MarkDirty before Release.
+type Page struct {
+	ID   PageID
+	Data []byte
+
+	dirty bool
+	pins  int
+	elem  *list.Element
+}
+
+// MarkDirty records that the page's contents changed and must be written
+// back before eviction or Sync.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Options configures Open.
+type Options struct {
+	PageSize   int // bytes per page; default DefaultPageSize
+	CachePages int // buffer pool capacity in pages; default DefaultCachePages
+	ReadOnly   bool
+}
+
+// Pager manages the page file. It is not safe for concurrent use; callers
+// requiring concurrency must serialize access (the path index builder does).
+type Pager struct {
+	f        *os.File
+	pageSize int
+	capacity int
+	readOnly bool
+
+	nPages   uint64 // total pages including header
+	freeHead PageID
+	meta     [MetaSize]byte
+	metaDirt bool
+
+	cache map[PageID]*Page
+	lru   *list.List // front = most recently used; holds unpinned and pinned pages alike
+}
+
+// Open opens or creates a page file.
+func Open(path string, opt Options) (*Pager, error) {
+	if opt.PageSize == 0 {
+		opt.PageSize = DefaultPageSize
+	}
+	if opt.PageSize < headerLen {
+		return nil, fmt.Errorf("pager: page size %d smaller than header", opt.PageSize)
+	}
+	if opt.CachePages <= 0 {
+		opt.CachePages = DefaultCachePages
+	}
+	flags := os.O_RDWR | os.O_CREATE
+	if opt.ReadOnly {
+		flags = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	p := &Pager{
+		f:        f,
+		pageSize: opt.PageSize,
+		capacity: opt.CachePages,
+		readOnly: opt.ReadOnly,
+		cache:    make(map[PageID]*Page),
+		lru:      list.New(),
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	if st.Size() == 0 {
+		if opt.ReadOnly {
+			f.Close()
+			return nil, errors.New("pager: empty file opened read-only")
+		}
+		p.nPages = 1
+		if err := p.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := p.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// PageSize returns the configured page size.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the total number of pages, including the header page.
+func (p *Pager) NumPages() uint64 { return p.nPages }
+
+// Meta returns a copy of the client metadata area.
+func (p *Pager) Meta() [MetaSize]byte { return p.meta }
+
+// SetMeta replaces the client metadata area; it is persisted on Sync/Close.
+func (p *Pager) SetMeta(m [MetaSize]byte) {
+	p.meta = m
+	p.metaDirt = true
+}
+
+func (p *Pager) writeHeader() error {
+	buf := make([]byte, p.pageSize)
+	copy(buf, headerMagic)
+	binary.LittleEndian.PutUint32(buf[4:], headerVersion)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(p.pageSize))
+	binary.LittleEndian.PutUint64(buf[16:], p.nPages)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(p.freeHead))
+	copy(buf[32:32+MetaSize], p.meta[:])
+	if _, err := p.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("pager: write header: %w", err)
+	}
+	p.metaDirt = false
+	return nil
+}
+
+func (p *Pager) readHeader() error {
+	buf := make([]byte, headerLen)
+	if _, err := io.ReadFull(io.NewSectionReader(p.f, 0, int64(headerLen)), buf); err != nil {
+		return fmt.Errorf("pager: read header: %w", err)
+	}
+	if string(buf[:4]) != headerMagic {
+		return fmt.Errorf("pager: bad magic %q", buf[:4])
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != headerVersion {
+		return fmt.Errorf("pager: unsupported version %d", v)
+	}
+	ps := binary.LittleEndian.Uint64(buf[8:])
+	if ps != uint64(p.pageSize) {
+		return fmt.Errorf("pager: file page size %d, opened with %d", ps, p.pageSize)
+	}
+	p.nPages = binary.LittleEndian.Uint64(buf[16:])
+	p.freeHead = PageID(binary.LittleEndian.Uint64(buf[24:]))
+	copy(p.meta[:], buf[32:32+MetaSize])
+	return nil
+}
+
+// Get pins and returns the page with the given id, reading it from disk on a
+// cache miss. The caller must Release it.
+func (p *Pager) Get(id PageID) (*Page, error) {
+	if id == InvalidPage || uint64(id) >= p.nPages {
+		return nil, fmt.Errorf("pager: page %d out of range", id)
+	}
+	if pg, ok := p.cache[id]; ok {
+		pg.pins++
+		p.lru.MoveToFront(pg.elem)
+		return pg, nil
+	}
+	data := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(data, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	return p.admit(id, data)
+}
+
+// Allocate pins and returns a zeroed new page, reusing a free page when one
+// is available. The caller must Release it.
+func (p *Pager) Allocate() (*Page, error) {
+	if p.readOnly {
+		return nil, errors.New("pager: allocate on read-only pager")
+	}
+	if p.freeHead != InvalidPage {
+		id := p.freeHead
+		pg, err := p.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		p.freeHead = PageID(binary.LittleEndian.Uint64(pg.Data))
+		for i := range pg.Data {
+			pg.Data[i] = 0
+		}
+		pg.MarkDirty()
+		return pg, nil
+	}
+	id := PageID(p.nPages)
+	p.nPages++
+	return p.admit(id, make([]byte, p.pageSize))
+}
+
+// Free returns a page to the free list. The page must be unpinned.
+func (p *Pager) Free(id PageID) error {
+	if p.readOnly {
+		return errors.New("pager: free on read-only pager")
+	}
+	pg, err := p.Get(id)
+	if err != nil {
+		return err
+	}
+	if pg.pins > 1 {
+		p.Release(pg)
+		return fmt.Errorf("pager: freeing pinned page %d", id)
+	}
+	binary.LittleEndian.PutUint64(pg.Data, uint64(p.freeHead))
+	p.freeHead = id
+	pg.MarkDirty()
+	p.Release(pg)
+	return nil
+}
+
+func (p *Pager) admit(id PageID, data []byte) (*Page, error) {
+	if err := p.evictIfFull(); err != nil {
+		return nil, err
+	}
+	pg := &Page{ID: id, Data: data, pins: 1}
+	pg.elem = p.lru.PushFront(pg)
+	p.cache[id] = pg
+	return pg, nil
+}
+
+func (p *Pager) evictIfFull() error {
+	for len(p.cache) >= p.capacity {
+		var victim *Page
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			pg := e.Value.(*Page)
+			if pg.pins == 0 {
+				victim = pg
+				break
+			}
+		}
+		if victim == nil {
+			// Everything is pinned: grow past capacity rather than fail;
+			// pathological pin patterns are caller bugs but must not corrupt.
+			return nil
+		}
+		if victim.dirty {
+			if err := p.writePage(victim); err != nil {
+				return err
+			}
+		}
+		p.lru.Remove(victim.elem)
+		delete(p.cache, victim.ID)
+	}
+	return nil
+}
+
+// Release unpins a page previously returned by Get or Allocate.
+func (p *Pager) Release(pg *Page) {
+	if pg.pins <= 0 {
+		panic(fmt.Sprintf("pager: release of unpinned page %d", pg.ID))
+	}
+	pg.pins--
+}
+
+func (p *Pager) writePage(pg *Page) error {
+	if p.readOnly {
+		return errors.New("pager: write on read-only pager")
+	}
+	if _, err := p.f.WriteAt(pg.Data, int64(pg.ID)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", pg.ID, err)
+	}
+	pg.dirty = false
+	return nil
+}
+
+// Sync writes all dirty pages and the header to disk and fsyncs the file.
+func (p *Pager) Sync() error {
+	if p.readOnly {
+		return nil
+	}
+	for _, pg := range p.cache {
+		if pg.dirty {
+			if err := p.writePage(pg); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
+// Close syncs and closes the page file.
+func (p *Pager) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}
+
+// Stats reports buffer pool statistics.
+type Stats struct {
+	CachedPages int
+	PinnedPages int
+	TotalPages  uint64
+}
+
+// Stats returns current buffer pool statistics.
+func (p *Pager) Stats() Stats {
+	s := Stats{CachedPages: len(p.cache), TotalPages: p.nPages}
+	for _, pg := range p.cache {
+		if pg.pins > 0 {
+			s.PinnedPages++
+		}
+	}
+	return s
+}

@@ -1,0 +1,255 @@
+package pager
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, opt Options) (*Pager, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.pages")
+	p, err := Open(path, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return p, path
+}
+
+func TestAllocateGetRoundTrip(t *testing.T) {
+	p, path := openTemp(t, Options{})
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	id := pg.ID
+	if id == InvalidPage {
+		t.Fatal("allocated invalid page id")
+	}
+	copy(pg.Data, "hello, page")
+	pg.MarkDirty()
+	p.Release(pg)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer p2.Close()
+	pg2, err := p2.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer p2.Release(pg2)
+	if string(pg2.Data[:11]) != "hello, page" {
+		t.Errorf("data = %q", pg2.Data[:11])
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	if _, err := p.Get(InvalidPage); err == nil {
+		t.Error("Get(0) succeeded")
+	}
+	if _, err := p.Get(99); err == nil {
+		t.Error("Get(99) succeeded")
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	copy(pg.Data, "junk to be cleared")
+	pg.MarkDirty()
+	p.Release(pg)
+	if err := p.Free(id); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	pg2, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(pg2)
+	if pg2.ID != id {
+		t.Errorf("free page not reused: got %d, want %d", pg2.ID, id)
+	}
+	for i, b := range pg2.Data {
+		if b != 0 {
+			t.Fatalf("reused page not zeroed at byte %d", i)
+		}
+	}
+}
+
+func TestFreePinnedPageRejected(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(pg.ID); err == nil {
+		t.Error("freeing pinned page succeeded")
+	}
+	p.Release(pg)
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	p, path := openTemp(t, Options{CachePages: 4})
+	ids := make([]PageID, 16)
+	for i := range ids {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = pg.ID
+		binary.LittleEndian.PutUint64(pg.Data, uint64(i)+100)
+		pg.MarkDirty()
+		p.Release(pg)
+	}
+	st := p.Stats()
+	if st.CachedPages > 4 {
+		t.Errorf("cache grew to %d pages with capacity 4", st.CachedPages)
+	}
+	// Everything must read back correctly despite evictions.
+	for i, id := range ids {
+		pg, err := p.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", id, err)
+		}
+		if got := binary.LittleEndian.Uint64(pg.Data); got != uint64(i)+100 {
+			t.Errorf("page %d = %d, want %d", id, got, i+100)
+		}
+		p.Release(pg)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And after reopen.
+	p2, err := Open(path, Options{CachePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	for i, id := range ids {
+		pg, err := p2.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := binary.LittleEndian.Uint64(pg.Data); got != uint64(i)+100 {
+			t.Errorf("reopened page %d = %d, want %d", id, got, i+100)
+		}
+		p2.Release(pg)
+	}
+}
+
+func TestAllPinnedGrowsPastCapacity(t *testing.T) {
+	p, _ := openTemp(t, Options{CachePages: 2})
+	defer p.Close()
+	var pages []*Page
+	for i := 0; i < 6; i++ {
+		pg, err := p.Allocate()
+		if err != nil {
+			t.Fatalf("Allocate %d with all pinned: %v", i, err)
+		}
+		pages = append(pages, pg)
+	}
+	if st := p.Stats(); st.PinnedPages != 6 {
+		t.Errorf("PinnedPages = %d, want 6", st.PinnedPages)
+	}
+	for _, pg := range pages {
+		p.Release(pg)
+	}
+}
+
+func TestMetaPersistence(t *testing.T) {
+	p, path := openTemp(t, Options{})
+	var m [MetaSize]byte
+	copy(m[:], "metadata survives reopen")
+	p.SetMeta(m)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	got := p2.Meta()
+	if string(got[:24]) != "metadata survives reopen" {
+		t.Errorf("meta = %q", got[:24])
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	p, path := openTemp(t, Options{})
+	pg, _ := p.Allocate()
+	id := pg.ID
+	copy(pg.Data, "ro")
+	pg.MarkDirty()
+	p.Release(pg)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(path, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only open: %v", err)
+	}
+	defer ro.Close()
+	pg2, err := ro.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro.Release(pg2)
+	if _, err := ro.Allocate(); err == nil {
+		t.Error("Allocate on read-only pager succeeded")
+	}
+	if err := ro.Free(id); err == nil {
+		t.Error("Free on read-only pager succeeded")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.pages")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestPageSizeMismatch(t *testing.T) {
+	p, path := openTemp(t, Options{PageSize: 4096})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{PageSize: 8192}); err == nil {
+		t.Error("page size mismatch accepted")
+	}
+}
+
+func TestReleasePanicsWhenUnpinned(t *testing.T) {
+	p, _ := openTemp(t, Options{})
+	defer p.Close()
+	pg, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(pg)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	p.Release(pg)
+}

@@ -1,0 +1,185 @@
+// Package peg is a library for subgraph pattern matching over uncertain
+// graphs with identity linkage uncertainty, reproducing Moustafa, Kimmig,
+// Deshpande & Getoor, "Subgraph Pattern Matching over Uncertain Graphs with
+// Identity Linkage Uncertainty" (ICDE 2014).
+//
+// The model combines three kinds of uncertainty over graph data:
+//
+//   - node attribute (label) uncertainty — a probability distribution over
+//     labels per node,
+//   - edge existence uncertainty — per-edge existence probabilities,
+//     optionally conditioned on the endpoint labels, and
+//   - identity uncertainty — observed references may denote the same
+//     real-world entity, with a merge probability per candidate set.
+//
+// # Workflow
+//
+// Build a reference-level description (PGD), transform it into a
+// probabilistic entity graph, build the disk-based context-aware path index
+// offline, and answer threshold queries online:
+//
+//	alpha, _ := peg.NewAlphabet("a", "r", "i")
+//	d := peg.NewPGD(alpha)
+//	r1 := d.AddReference(peg.MustDist(
+//		peg.LabelProb{Label: alpha.ID("r"), P: 0.25},
+//		peg.LabelProb{Label: alpha.ID("i"), P: 0.75}))
+//	...
+//	g, err := peg.BuildGraph(d)
+//	ix, err := peg.BuildIndex(ctx, g, peg.IndexOptions{MaxLen: 3, Beta: 0.1, Gamma: 0.1, Dir: dir})
+//	q := peg.NewQuery()
+//	...
+//	res, err := peg.Match(ctx, ix, q, peg.MatchOptions{Alpha: 0.25})
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package peg
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/join"
+	"repro/internal/pathindex"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/refgraph"
+)
+
+// Core model types, re-exported from the implementation packages. The
+// aliases are the public API; the internal packages are not importable by
+// downstream modules.
+type (
+	// Alphabet interns label strings to dense ids.
+	Alphabet = prob.Alphabet
+	// LabelID is an interned label.
+	LabelID = prob.LabelID
+	// LabelProb is one entry of a label distribution.
+	LabelProb = prob.LabelProb
+	// Dist is a discrete probability distribution over labels.
+	Dist = prob.Dist
+	// MergeFuncs bundles the label and edge merge functions mΣ and m{T,F}.
+	MergeFuncs = prob.MergeFuncs
+
+	// PGD is the reference-level probabilistic graph description.
+	PGD = refgraph.PGD
+	// RefID identifies a reference in a PGD.
+	RefID = refgraph.RefID
+	// EdgeDist is a reference edge's existence distribution (optionally a
+	// label-conditioned CPT).
+	EdgeDist = refgraph.EdgeDist
+
+	// Graph is the probabilistic entity graph (PEG).
+	Graph = entity.Graph
+	// EntityID identifies an entity node.
+	EntityID = entity.ID
+	// BuildOptions configures PEG construction.
+	BuildOptions = entity.BuildOptions
+	// Semantics selects the identity component scoring.
+	Semantics = entity.Semantics
+
+	// Index is the context-aware path index (offline phase artifact).
+	Index = pathindex.Index
+	// IndexOptions configures index construction.
+	IndexOptions = pathindex.Options
+	// IndexStats reports offline phase metrics.
+	IndexStats = pathindex.BuildStats
+
+	// Query is a labeled query graph.
+	Query = query.Query
+	// QueryNodeID identifies a query node.
+	QueryNodeID = query.NodeID
+
+	// MatchRecord is a full query match with its probability components
+	// (mapping ψ plus Prle and Prn).
+	MatchRecord = join.Match
+	// MatchOptions configures a match run.
+	MatchOptions = core.Options
+	// MatchResult bundles matches with per-stage statistics.
+	MatchResult = core.Result
+	// MatchStats reports per-stage search-space and timing data.
+	MatchStats = core.Stats
+	// Strategy selects the matching variant (optimized or a baseline).
+	Strategy = core.Strategy
+)
+
+// Identity semantics (see DESIGN.md "Semantics note").
+const (
+	// SemanticsExample reproduces the paper's worked example: a reference
+	// set with probability p merges with probability p. Default.
+	SemanticsExample = entity.SemanticsExample
+	// SemanticsFactor is the literal Definition 2 factor product.
+	SemanticsFactor = entity.SemanticsFactor
+)
+
+// Matching strategies (Section 6.2.1).
+const (
+	StrategyOptimized     = core.StrategyOptimized
+	StrategyRandomDecomp  = core.StrategyRandomDecomp
+	StrategyNoSSReduction = core.StrategyNoSSReduction
+)
+
+// NewAlphabet interns the given labels.
+func NewAlphabet(labels ...string) (*Alphabet, error) { return prob.NewAlphabet(labels...) }
+
+// MustAlphabet is NewAlphabet for static label sets known to be valid.
+func MustAlphabet(labels ...string) *Alphabet { return prob.MustAlphabet(labels...) }
+
+// NewDist builds a label distribution from entries; it must sum to 1.
+func NewDist(entries ...LabelProb) (Dist, error) { return prob.NewDist(entries...) }
+
+// MustDist is NewDist for distributions known to be valid.
+func MustDist(entries ...LabelProb) Dist { return prob.MustDist(entries...) }
+
+// Point returns the deterministic distribution on one label.
+func Point(l LabelID) Dist { return prob.Point(l) }
+
+// Merge functions of Definition 1. AverageLabels/AverageEdges are the
+// paper's experimental defaults; DisjunctEdges is the noisy-or alternative
+// named in Section 3.
+var (
+	AverageLabels = prob.AverageLabels
+	AverageEdges  = prob.AverageEdges
+	DisjunctEdges = prob.DisjunctEdges
+	MaxEdges      = prob.MaxEdges
+)
+
+// NewPGD creates an empty reference-level description over the alphabet,
+// with average merge functions.
+func NewPGD(a *Alphabet) *PGD { return refgraph.New(a) }
+
+// LoadPGD reads a PGD binary snapshot (see PGD.Save).
+var LoadPGD = refgraph.Load
+
+// BuildGraph constructs the probabilistic entity graph from a PGD: entities
+// are merged per reference set, label/edge distributions are combined with
+// the PGD's merge functions, and the identity components are precomputed.
+func BuildGraph(d *PGD, opts ...BuildOptions) (*Graph, error) {
+	var o BuildOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return entity.Build(d, o)
+}
+
+// BuildIndex runs the offline phase: context information and the
+// context-aware path index over all paths of length ≤ MaxLen with
+// probability ≥ Beta, stored under Dir.
+func BuildIndex(ctx context.Context, g *Graph, opt IndexOptions) (*Index, error) {
+	return pathindex.Build(ctx, g, opt)
+}
+
+// OpenIndex attaches to a previously built index directory.
+func OpenIndex(dir string, g *Graph) (*Index, error) { return pathindex.Open(dir, g) }
+
+// NewQuery creates an empty query graph.
+func NewQuery() *Query { return query.New() }
+
+// ParseQuery reads the text query DSL ("node NAME LABEL" / "edge A B").
+func ParseQuery(src string, a *Alphabet) (*Query, error) { return query.ParseString(src, a) }
+
+// Match answers a probabilistic subgraph pattern matching query
+// (Definition 5): all matches M of q with Pr(M) ≥ opt.Alpha, with exact
+// probabilities and per-stage statistics.
+func Match(ctx context.Context, ix *Index, q *Query, opt MatchOptions) (*MatchResult, error) {
+	return core.Match(ctx, ix, q, opt)
+}

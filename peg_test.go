@@ -1,0 +1,141 @@
+package peg_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	peg "repro"
+)
+
+// TestPublicAPIMotivatingExample walks the full public workflow on the
+// paper's Section 2 example: PGD → PEG → index → query → matches.
+func TestPublicAPIMotivatingExample(t *testing.T) {
+	alpha := peg.MustAlphabet("a", "r", "i")
+	a, r, i := alpha.ID("a"), alpha.ID("r"), alpha.ID("i")
+
+	d := peg.NewPGD(alpha)
+	r1 := d.AddReference(peg.MustDist(peg.LabelProb{Label: r, P: 0.25}, peg.LabelProb{Label: i, P: 0.75}))
+	r2 := d.AddReference(peg.Point(a))
+	r3 := d.AddReference(peg.Point(r))
+	r4 := d.AddReference(peg.Point(i))
+	for _, e := range []struct {
+		a, b peg.RefID
+		p    float64
+	}{{r1, r2, 0.9}, {r2, r3, 1.0}, {r2, r4, 0.5}} {
+		if err := d.AddEdge(e.a, e.b, peg.EdgeDist{P: e.p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.AddReferenceSet([]peg.RefID{r3, r4}, 0.8); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := peg.BuildGraph(d)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	ix, err := peg.BuildIndex(context.Background(), g, peg.IndexOptions{
+		MaxLen: 2, Beta: 0.02, Gamma: 0.1, Dir: filepath.Join(t.TempDir(), "ix"),
+	})
+	if err != nil {
+		t.Fatalf("BuildIndex: %v", err)
+	}
+	defer ix.Close()
+
+	q, err := peg.ParseQuery(`
+node q1 r
+node q2 a
+node q3 i
+edge q1 q2
+edge q2 q3
+`, alpha)
+	if err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+
+	res, err := peg.Match(context.Background(), ix, q, peg.MatchOptions{Alpha: 0.2})
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %+v, want exactly the merged-entity path", res.Matches)
+	}
+	m := res.Matches[0]
+	if math.Abs(m.Pr()-0.2025) > 1e-9 {
+		t.Errorf("Pr = %v, want 0.2025", m.Pr())
+	}
+	// The first query node maps to the merged entity (id 4 = after the 4
+	// singletons).
+	if m.Mapping[0] != peg.EntityID(4) {
+		t.Errorf("mapping = %v", m.Mapping)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	alpha := peg.MustAlphabet("x", "y")
+	d := peg.NewPGD(alpha)
+	a := d.AddReference(peg.Point(alpha.ID("x")))
+	b := d.AddReference(peg.Point(alpha.ID("y")))
+	if err := d.AddEdge(a, b, peg.EdgeDist{P: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+
+	// PGD snapshot round trip.
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := peg.LoadPGD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := peg.BuildGraph(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Index build + reopen.
+	dir := filepath.Join(t.TempDir(), "ix")
+	ix, err := peg.BuildIndex(context.Background(), g, peg.IndexOptions{
+		MaxLen: 1, Beta: 0.1, Gamma: 0.1, Dir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := peg.OpenIndex(dir, g)
+	if err != nil {
+		t.Fatalf("OpenIndex: %v", err)
+	}
+	defer ix2.Close()
+
+	q := peg.NewQuery()
+	n1 := q.AddNode(alpha.ID("x"))
+	n2 := q.AddNode(alpha.ID("y"))
+	if err := q.AddEdge(n1, n2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := peg.Match(context.Background(), ix2, q, peg.MatchOptions{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || math.Abs(res.Matches[0].Pr()-0.7) > 1e-9 {
+		t.Fatalf("matches after reopen = %+v", res.Matches)
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	// The three strategies must be distinct, printable values.
+	seen := map[string]bool{}
+	for _, s := range []peg.Strategy{peg.StrategyOptimized, peg.StrategyRandomDecomp, peg.StrategyNoSSReduction} {
+		if seen[s.String()] {
+			t.Errorf("duplicate strategy name %q", s)
+		}
+		seen[s.String()] = true
+	}
+}
