@@ -1,0 +1,122 @@
+// Command pegserve serves the online phase over HTTP: it loads a PGD
+// snapshot, opens (or builds) the path index, and answers /match and
+// /match/batch queries concurrently with a bounded worker pool and an LRU
+// result cache.
+//
+// Usage:
+//
+//	pegserve -pgd graph.pgd -dir ./index -addr :8080
+//	curl -s localhost:8080/match -d '{"query":"node A r\nnode B a\nedge A B","alpha":0.2}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	peg "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pegserve: ")
+	var (
+		pgdPath = flag.String("pgd", "", "input PGD file (required)")
+		dir     = flag.String("dir", "", "index directory (required)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "concurrent match evaluations (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "request queue depth before 503 (0 = 4×workers)")
+		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		alpha   = flag.Float64("alpha", 0.25, "default probability threshold α")
+		build   = flag.Bool("build", false, "build the index first if dir has none")
+		maxLen  = flag.Int("L", 3, "index path length when building")
+		beta    = flag.Float64("beta", 0.1, "index construction threshold β when building")
+		gamma   = flag.Float64("gamma", 0.1, "index resolution γ when building")
+	)
+	flag.Parse()
+	if *pgdPath == "" || *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*pgdPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := peg.LoadPGD(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := peg.BuildGraph(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ix, err := peg.OpenIndex(*dir, g)
+	if err != nil && *build {
+		log.Printf("no index in %s, building (L=%d β=%v γ=%v)", *dir, *maxLen, *beta, *gamma)
+		ix, err = peg.BuildIndex(ctx, g, peg.IndexOptions{
+			MaxLen: *maxLen, Beta: *beta, Gamma: *gamma, Dir: *dir,
+		})
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+	st := ix.Stats()
+	log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
+		st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
+
+	srv := peg.NewServer(ix, peg.ServerOptions{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		DefaultAlpha:   *alpha,
+	})
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Connection-level bounds: a client cannot hold a handler open by
+		// trickling its body (read) or draining slowly (write) beyond the
+		// match budget, so Shutdown's grace window really is an upper bound.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 30*time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		// Give in-flight requests their full budget plus the write window:
+		// the index is closed right after this returns, and a request still
+		// running must not see closed files.
+		shCtx, cancel := context.WithTimeout(context.Background(), *timeout+35*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(fmt.Errorf("serve: %w", err))
+		}
+	}
+}

@@ -66,9 +66,12 @@ type BuildStats struct {
 	ContextTime   time.Duration // context information share
 }
 
-// Index is an opened path index. Read methods are safe for concurrent use
-// once the index is built or opened (the underlying B+ tree is guarded by a
-// mutex).
+// Index is an opened path index. Once built or opened, the index is
+// read-only and every read method — Lookup, Cardinality, Context, Stats —
+// is safe for many concurrent callers without shared locking: B+ tree scans
+// ride on the pager's sharded buffer pool, and the dictionary, histograms,
+// and context tables are immutable after construction. Build itself is
+// single-writer (storeLevel runs on one goroutine).
 type Index struct {
 	opt   Options
 	g     *entity.Graph
@@ -79,8 +82,7 @@ type Index struct {
 	hist  *Histograms
 	stats BuildStats
 
-	mu    sync.Mutex // serializes B+ tree access
-	recno uint32
+	recno uint32 // next record number during build
 }
 
 type metaFile struct {
@@ -449,12 +451,9 @@ func (ix *Index) storeLevel(level []opath, l int) error {
 		}
 		pr := p.prle * p.prn
 		b := bucketOf(pr, ix.opt.Beta, ix.opt.Gamma)
-		ix.mu.Lock()
 		rec := ix.recno
 		ix.recno++
-		err = ix.tree.Put(encodeKey(seqID, b, rec), encodeRecord(nodes, p.prle, p.prn))
-		ix.mu.Unlock()
-		if err != nil {
+		if err := ix.tree.Put(encodeKey(seqID, b, rec), encodeRecord(nodes, p.prle, p.prn)); err != nil {
 			return err
 		}
 		ix.hist.Add(seqID, b)
@@ -486,7 +485,6 @@ func (ix *Index) Lookup(X []prob.LabelID, alpha float64) ([]PathMatch, error) {
 	hi := encodeKey(seqID+1, 0, 0)
 	var out []PathMatch
 	var scanErr error
-	ix.mu.Lock()
 	err := ix.tree.Scan(lo, hi, func(k, v []byte) bool {
 		m, err := decodeRecord(v)
 		if err != nil {
@@ -509,7 +507,6 @@ func (ix *Index) Lookup(X []prob.LabelID, alpha float64) ([]PathMatch, error) {
 		}
 		return true
 	})
-	ix.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}

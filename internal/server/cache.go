@@ -1,0 +1,133 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU cache from canonical request keys to
+// finished match responses. Entries are immutable once stored: hits hand out
+// the same *MatchResponse to every caller, so nothing downstream may mutate
+// it (the handlers only marshal it).
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	items    map[cacheKey]*list.Element
+	lru      *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+// cacheKey identifies one cacheable match computation. IndexID ties entries
+// to the identity of the served index: swapping the index changes the id,
+// which orphans (and eventually evicts) all stale entries.
+type cacheKey struct {
+	indexID  string
+	query    string // canonicalized DSL (parse → Format)
+	alpha    uint64 // math.Float64bits of α, so distinct floats never collide
+	strategy string
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *MatchResponse
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		capacity: capacity,
+		items:    make(map[cacheKey]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached response for key, if any.
+func (c *resultCache) get(key cacheKey) (*MatchResponse, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a response, evicting the least recently used entry when full.
+func (c *resultCache) put(key cacheKey, res *MatchResponse) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// flightGroup collapses concurrent identical computations (a minimal
+// singleflight): the first joiner of a key becomes the leader and computes;
+// the rest wait on done. The leader fills res/err, forgets the key, then
+// closes done.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[cacheKey]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *MatchResponse
+	err  error
+}
+
+// join returns the in-flight call for key, creating it (leader=true) when
+// none exists.
+func (g *flightGroup) join(key cacheKey) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[cacheKey]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// forget removes the key so later requests start a fresh computation.
+func (g *flightGroup) forget(key cacheKey) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+}
+
+// stats returns hit/miss counters and the current size.
+func (c *resultCache) stats() (hits, misses uint64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.items)
+}

@@ -1,0 +1,594 @@
+// Package server exposes the online matching phase as a concurrent HTTP/JSON
+// service: the query-serving subsystem in front of one opened (read-only)
+// path index. Every request parses the text query DSL, runs core.Match, and
+// streams the matches back as JSON.
+//
+// The design leans on the read path being lock-free for concurrent callers
+// (see pathindex.Index): requests never contend on the index itself, only on
+// the bounded worker pool that caps how many match evaluations run at once,
+// and on the LRU result cache that short-circuits repeated queries entirely.
+//
+// Endpoints:
+//
+//	POST /match        one MatchRequest  → MatchResponse
+//	POST /match/batch  BatchRequest      → BatchResponse (items evaluated
+//	                                       concurrently through the pool)
+//	GET  /healthz      liveness + index identity
+//	GET  /stats        serving counters (requests, cache hits, rejections)
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pathindex"
+	"repro/internal/query"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds how many match evaluations run concurrently
+	// (0 = GOMAXPROCS). This is the admission-control knob: the index itself
+	// imposes no reader limit.
+	Workers int
+	// QueueDepth is how many requests may wait for a worker slot before the
+	// server sheds load with 503 (0 = 4×Workers).
+	QueueDepth int
+	// CacheEntries sizes the LRU result cache (0 = 1024, negative disables).
+	CacheEntries int
+	// RequestTimeout caps per-request wall clock (0 = 30s). A request may
+	// lower it via its timeout_ms field but never raise it.
+	RequestTimeout time.Duration
+	// DefaultAlpha is used when a request omits alpha (0 = 0.25).
+	DefaultAlpha float64
+	// MatchWorkers is the intra-query parallelism handed to core.Match
+	// (0 = 1; the pool already provides inter-query parallelism, so
+	// oversubscribing cores per request is opt-in).
+	MatchWorkers int
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (o *Options) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = defaultWorkers()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 1024
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.DefaultAlpha <= 0 || o.DefaultAlpha > 1 {
+		o.DefaultAlpha = 0.25
+	}
+	if o.MatchWorkers <= 0 {
+		o.MatchWorkers = 1
+	}
+}
+
+// servedIndex is one generation of the served index with its in-flight
+// reference count, so a swap can drain readers before the old index is
+// closed.
+type servedIndex struct {
+	ix   *pathindex.Index
+	id   string
+	refs atomic.Int64
+}
+
+// Server serves match queries over one opened index. Safe for concurrent
+// use; the index may be hot-swapped with SetIndex.
+type Server struct {
+	opt Options
+
+	mu  sync.RWMutex
+	cur *servedIndex
+	gen atomic.Uint64
+
+	sem     chan struct{}
+	waiters atomic.Int64
+	cache   *resultCache
+	flight  flightGroup
+
+	requests  atomic.Uint64
+	rejected  atomic.Uint64
+	failed    atomic.Uint64
+	succeeded atomic.Uint64
+}
+
+// New creates a server over an opened index.
+func New(ix *pathindex.Index, opt Options) *Server {
+	opt.normalize()
+	s := &Server{
+		opt:   opt,
+		sem:   make(chan struct{}, opt.Workers),
+		cache: newResultCache(opt.CacheEntries),
+	}
+	s.setIndex(ix)
+	return s
+}
+
+// SetIndex atomically replaces the served index (e.g. after an offline
+// rebuild), blocks until every in-flight request on the previous index has
+// finished, and returns that previous index — at which point it is safe to
+// Close. Cached results of the old index are keyed by its identity and
+// simply stop matching, aging out of the LRU.
+func (s *Server) SetIndex(ix *pathindex.Index) *pathindex.Index {
+	old := s.setIndex(ix)
+	if old == nil {
+		return nil
+	}
+	// New requests can no longer reference old (acquireIndex reads s.cur
+	// under the lock), so the count only drains.
+	for old.refs.Load() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return old.ix
+}
+
+func (s *Server) setIndex(ix *pathindex.Index) *servedIndex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.cur
+	// A monotonically increasing generation makes the id collision-free
+	// across swaps (a %p pointer could be reused after GC); the entry count
+	// is informational.
+	s.cur = &servedIndex{
+		ix: ix,
+		id: fmt.Sprintf("gen%d#%d", s.gen.Add(1), ix.Stats().Entries),
+	}
+	return old
+}
+
+// acquireIndex pins the current index generation; callers must call
+// release() when done with it.
+func (s *Server) acquireIndex() (si *servedIndex, release func()) {
+	s.mu.RLock()
+	si = s.cur
+	si.refs.Add(1)
+	s.mu.RUnlock()
+	return si, func() { si.refs.Add(-1) }
+}
+
+// MatchRequest is the JSON body of /match and one item of /match/batch.
+type MatchRequest struct {
+	// Query is the text DSL ("node NAME LABEL" / "edge A B" lines).
+	Query string `json:"query"`
+	// Alpha is the probability threshold α (0 = server default).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Strategy is "optimized" (default), "random-decomp", or
+	// "no-ss-reduction".
+	Strategy string `json:"strategy,omitempty"`
+	// TimeoutMillis optionally lowers the server's request timeout.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// MatchEntry is one probabilistic match in a response.
+type MatchEntry struct {
+	// Mapping lists the entity id matched to each query node, in query-node
+	// order.
+	Mapping []uint32 `json:"mapping"`
+	Pr      float64  `json:"pr"`
+	Prle    float64  `json:"prle"`
+	Prn     float64  `json:"prn"`
+}
+
+// MatchStats is the per-request statistics summary.
+type MatchStats struct {
+	NumPaths        int     `json:"num_paths"`
+	SSFinal         float64 `json:"search_space_final"`
+	TotalMicros     int64   `json:"total_us"`
+	DecomposeMicros int64   `json:"decompose_us"`
+	CandidateMicros int64   `json:"candidates_us"`
+	ReduceMicros    int64   `json:"reduce_us"`
+	JoinMicros      int64   `json:"join_us"`
+}
+
+// MatchResponse is the JSON body answering one match request.
+type MatchResponse struct {
+	NumMatches int          `json:"num_matches"`
+	Matches    []MatchEntry `json:"matches"`
+	Alpha      float64      `json:"alpha"`
+	Strategy   string       `json:"strategy"`
+	Cached     bool         `json:"cached"`
+	Stats      *MatchStats  `json:"stats,omitempty"`
+}
+
+// BatchRequest is the JSON body of /match/batch.
+type BatchRequest struct {
+	Queries []MatchRequest `json:"queries"`
+}
+
+// BatchItem is one result of a batch: a response or an error, never both.
+type BatchItem struct {
+	*MatchResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse answers /match/batch, results aligned with the request.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// StatsResponse answers /stats.
+type StatsResponse struct {
+	Requests     uint64 `json:"requests"`
+	Succeeded    uint64 `json:"succeeded"`
+	Failed       uint64 `json:"failed"`
+	Rejected     uint64 `json:"rejected"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+	Workers      int    `json:"workers"`
+	IndexEntries uint64 `json:"index_entries"`
+}
+
+// httpError is an error with an HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeError maps a request-body decode failure: size-limit violations get
+// 413 so clients can tell "split the batch" from "fix the JSON".
+func decodeError(err error) *httpError {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+	}
+	return badRequest("malformed request: %v", err)
+}
+
+var errSaturated = &httpError{
+	status: http.StatusServiceUnavailable,
+	msg:    "server saturated: worker pool and queue full",
+}
+
+// maxBodyBytes caps request bodies; a batch of maximal queries stays well
+// under it.
+const maxBodyBytes = 8 << 20
+
+// maxBatchQueries caps one /match/batch request; larger workloads must
+// paginate so a single request cannot monopolize the pool.
+const maxBatchQueries = 256
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/match", s.handleMatch)
+	mux.HandleFunc("/match/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req MatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, decodeError(err))
+		return
+	}
+	s.requests.Add(1)
+	res, err := s.evaluate(r.Context(), &req)
+	if err != nil {
+		s.countFailure(err)
+		writeError(w, err)
+		return
+	}
+	s.succeeded.Add(1)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, decodeError(err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, badRequest("empty batch"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, badRequest("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
+		return
+	}
+	// Fan out through at most Workers goroutines: evaluate() also acquires
+	// the pool per item, so a batch respects the same admission control as
+	// loose requests and one batch cannot spawn unbounded work.
+	out := BatchResponse{Results: make([]BatchItem, len(req.Queries))}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	conc := s.opt.Workers
+	if conc > len(req.Queries) {
+		conc = len(req.Queries)
+	}
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s.requests.Add(1)
+				res, err := s.evaluate(r.Context(), &req.Queries[i])
+				if err != nil {
+					s.countFailure(err)
+					out.Results[i] = BatchItem{Error: err.Error()}
+					continue
+				}
+				s.succeeded.Add(1)
+				out.Results[i] = BatchItem{MatchResponse: res}
+			}
+		}()
+	}
+	for i := range req.Queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	writeJSON(w, http.StatusOK, &out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	si, release := s.acquireIndex()
+	defer release()
+	ix, id := si.ix, si.id
+	st := ix.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            true,
+		"index":         id,
+		"index_entries": st.Entries,
+		"nodes":         ix.Graph().NumNodes(),
+		"edges":         ix.Graph().NumEdges(),
+		"max_len":       ix.MaxLen(),
+		"beta":          ix.Beta(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.stats()
+	si, release := s.acquireIndex()
+	defer release()
+	ix := si.ix
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		Requests:     s.requests.Load(),
+		Succeeded:    s.succeeded.Load(),
+		Failed:       s.failed.Load(),
+		Rejected:     s.rejected.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		CacheEntries: size,
+		Workers:      s.opt.Workers,
+		IndexEntries: ix.Stats().Entries,
+	})
+}
+
+// evaluate runs one match request end to end: canonicalize, consult the
+// cache, acquire a worker slot, run core.Match under the request deadline.
+func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchResponse, error) {
+	si, release := s.acquireIndex()
+	defer release()
+	ix, indexID := si.ix, si.id
+	alpha := req.Alpha
+	if alpha == 0 {
+		alpha = s.opt.DefaultAlpha
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, badRequest("alpha %v out of range (0,1]", alpha)
+	}
+	strat, stratName, err := ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	q, err := query.ParseString(req.Query, ix.Graph().Alphabet())
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if err := q.Validate(ix.Graph().Alphabet()); err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	key := cacheKey{
+		indexID:  indexID,
+		query:    q.Format(ix.Graph().Alphabet()),
+		alpha:    math.Float64bits(alpha),
+		strategy: stratName,
+	}
+	if res, ok := s.cache.get(key); ok {
+		hit := *res
+		hit.Cached = true
+		return &hit, nil
+	}
+
+	// The deadline starts before the queue so RequestTimeout caps the whole
+	// wall clock — a request stuck behind a saturated pool times out rather
+	// than hanging for queue wait plus a full match budget.
+	timeout := s.opt.RequestTimeout
+	if req.TimeoutMillis > 0 {
+		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Collapse concurrent identical cold requests: one leader computes
+	// under a worker slot, followers wait on its result without consuming
+	// slots. A follower whose leader fails (that leader's timeout or
+	// disconnect must not speak for anyone else) retries and may become
+	// the next leader.
+	for {
+		call, leader := s.flight.join(key)
+		if leader {
+			// Recheck the cache: a previous leader may have finished (and
+			// cached) between our miss above and this join, and a second
+			// cold evaluation of the same key must not happen.
+			res, cached := s.cache.get(key)
+			var err error
+			if cached {
+				hit := *res
+				hit.Cached = true
+				res = &hit
+			} else {
+				res, err = s.compute(ctx, ix, q, key, alpha, strat, stratName)
+			}
+			call.res, call.err = res, err
+			s.flight.forget(key)
+			close(call.done)
+			return res, err
+		}
+		select {
+		case <-call.done:
+			if call.err == nil {
+				hit := *call.res
+				hit.Cached = true
+				return &hit, nil
+			}
+		case <-ctx.Done():
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, &httpError{http.StatusGatewayTimeout, "timed out waiting for an identical in-flight query"}
+			}
+			return nil, &httpError{499, "client closed request"}
+		}
+	}
+}
+
+// compute runs one match evaluation under a worker-pool slot and caches the
+// response.
+func (s *Server) compute(ctx context.Context, ix *pathindex.Index, q *query.Query, key cacheKey, alpha float64, strat core.Strategy, stratName string) (*MatchResponse, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer func() { <-s.sem }()
+
+	result, err := core.Match(ctx, ix, q, core.Options{
+		Alpha:    alpha,
+		Strategy: strat,
+		Workers:  s.opt.MatchWorkers,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, &httpError{http.StatusGatewayTimeout, "match timed out"}
+		case errors.Is(err, context.Canceled):
+			return nil, &httpError{499, "client closed request"}
+		default:
+			// The request was already parsed and validated above, so an
+			// error out of the match pipeline is a server fault (e.g. index
+			// I/O), not a client one.
+			return nil, &httpError{http.StatusInternalServerError, err.Error()}
+		}
+	}
+
+	res := &MatchResponse{
+		NumMatches: len(result.Matches),
+		Matches:    make([]MatchEntry, len(result.Matches)),
+		Alpha:      alpha,
+		Strategy:   stratName,
+		Stats: &MatchStats{
+			NumPaths:        result.Stats.NumPaths,
+			SSFinal:         result.Stats.SSFinal,
+			TotalMicros:     result.Stats.Total.Microseconds(),
+			DecomposeMicros: result.Stats.DecomposeTime.Microseconds(),
+			CandidateMicros: result.Stats.CandidateTime.Microseconds(),
+			ReduceMicros:    result.Stats.ReduceTime.Microseconds(),
+			JoinMicros:      result.Stats.JoinTime.Microseconds(),
+		},
+	}
+	for i, m := range result.Matches {
+		e := MatchEntry{Mapping: make([]uint32, len(m.Mapping)), Pr: m.Pr(), Prle: m.Prle, Prn: m.Prn}
+		for j, v := range m.Mapping {
+			e.Mapping[j] = uint32(v)
+		}
+		res.Matches[i] = e
+	}
+	s.cache.put(key, res)
+	return res, nil
+}
+
+// acquire takes a worker slot, waiting while the queue has room and the
+// request is still live; it sheds load once QueueDepth requests are already
+// waiting.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.waiters.Add(1) > int64(s.opt.QueueDepth) {
+		s.waiters.Add(-1)
+		s.rejected.Add(1)
+		return errSaturated
+	}
+	defer s.waiters.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return &httpError{http.StatusGatewayTimeout, "timed out waiting for a worker"}
+		}
+		return &httpError{499, "client closed request"}
+	}
+}
+
+func (s *Server) countFailure(err error) {
+	var he *httpError
+	if errors.As(err, &he) && he == errSaturated {
+		return // already counted in acquire
+	}
+	s.failed.Add(1)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if !errors.As(err, &he) {
+		he = &httpError{http.StatusInternalServerError, err.Error()}
+	}
+	writeJSON(w, he.status, map[string]string{"error": he.msg})
+}
+
+// ParseStrategy maps a request strategy name to the core constant, returning
+// the normalized name. An empty name selects the optimized strategy.
+func ParseStrategy(name string) (core.Strategy, string, error) {
+	switch name {
+	case "", "optimized":
+		return core.StrategyOptimized, "optimized", nil
+	case "random-decomp":
+		return core.StrategyRandomDecomp, "random-decomp", nil
+	case "no-ss-reduction":
+		return core.StrategyNoSSReduction, "no-ss-reduction", nil
+	}
+	return 0, "", fmt.Errorf("unknown strategy %q", name)
+}

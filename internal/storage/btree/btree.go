@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage/pager"
 )
@@ -26,18 +28,47 @@ const (
 	internalType = 2
 )
 
-// Tree is a B+ tree. It is not safe for concurrent use.
+// Tree is a B+ tree. Read methods (Get, Scan, Height, Len) are safe for
+// concurrent use with each other — hot nodes are served lock-free from a
+// decoded-node cache, cold ones from the pager's sharded buffer pool — but
+// writers (Put, Delete, Sync) require exclusive access: they must not run
+// concurrently with each other or with readers. The path index builds
+// single-threaded and serves read-only, which satisfies both rules.
 type Tree struct {
 	pg    *pager.Pager
 	root  pager.PageID
 	count uint64
 	maxKV int
+
+	// nodes caches decoded pages (PageID → *node) so the read path skips
+	// both the pager locks and the per-visit decode allocations. Readers
+	// treat cached nodes as immutable; the (exclusive) writer mutates them
+	// in place and re-stores, which keeps cache and disk in sync. Internal
+	// nodes are always kept; leaves are bounded by maxCached, and once the
+	// budget has been exhausted for a while the leaf set is flushed so the
+	// cache adapts to the live workload instead of whichever leaves came
+	// first (e.g. build-time inserts in a build-then-serve process).
+	nodes     sync.Map
+	cached    atomic.Int64 // admitted leaves
+	skips     atomic.Int64 // leaf admissions refused since the last flush
+	maxCached int64
+	flushMu   sync.Mutex
 }
+
+// DefaultCacheNodes bounds the decoded-node cache (≈ one page of heap per
+// node, so the default is ~16MB at the default page size).
+const DefaultCacheNodes = 4096
+
+// SetCacheNodes rebounds the decoded-node cache. It does not shrink an
+// already-populated cache; call before heavy use. n ≤ 0 disables caching of
+// further nodes entirely; a positive n bounds the leaves while internal
+// nodes (the hot upper levels, ~pages/fanout of the tree) are always kept.
+func (t *Tree) SetCacheNodes(n int) { t.maxCached = int64(n) }
 
 // Create initializes a new tree in the pager, storing its root and entry
 // count in the pager's metadata area.
 func Create(pg *pager.Pager) (*Tree, error) {
-	t := &Tree{pg: pg, maxKV: maxKVFor(pg.PageSize())}
+	t := &Tree{pg: pg, maxKV: maxKVFor(pg.PageSize()), maxCached: DefaultCacheNodes}
 	rootPage, err := pg.Allocate()
 	if err != nil {
 		return nil, err
@@ -61,10 +92,11 @@ func Open(pg *pager.Pager) (*Tree, error) {
 		return nil, errors.New("btree: no tree in pager metadata")
 	}
 	return &Tree{
-		pg:    pg,
-		root:  root,
-		count: binary.LittleEndian.Uint64(meta[8:]),
-		maxKV: maxKVFor(pg.PageSize()),
+		pg:        pg,
+		root:      root,
+		count:     binary.LittleEndian.Uint64(meta[8:]),
+		maxKV:     maxKVFor(pg.PageSize()),
+		maxCached: DefaultCacheNodes,
 	}, nil
 }
 
@@ -198,13 +230,65 @@ func decode(id pager.PageID, buf []byte) (*node, error) {
 }
 
 func (t *Tree) load(id pager.PageID) (*node, error) {
+	if v, ok := t.nodes.Load(id); ok {
+		return v.(*node), nil
+	}
 	pg, err := t.pg.Get(id)
 	if err != nil {
 		return nil, err
 	}
 	n, err := decode(id, pg.Data)
 	t.pg.Release(pg)
-	return n, err
+	if err != nil {
+		return nil, err
+	}
+	return t.cacheNode(n), nil
+}
+
+// cacheNode admits a freshly decoded node, returning the canonical cached
+// instance when another reader won the race. Internal nodes are always
+// admitted (and not counted against the budget) — they are the upper
+// levels every probe traverses and number only ~pages/fanout — while
+// leaves respect the bound, so a tree larger than maxCached pages still
+// serves its hot spine lock-free.
+func (t *Tree) cacheNode(n *node) *node {
+	max := t.maxCached
+	if max <= 0 {
+		return n
+	}
+	if n.leaf && t.cached.Load() >= max {
+		if t.skips.Add(1) >= max {
+			t.flushLeaves()
+		}
+		return n
+	}
+	if v, loaded := t.nodes.LoadOrStore(n.id, n); loaded {
+		return v.(*node)
+	}
+	if n.leaf {
+		t.cached.Add(1)
+	}
+	return n
+}
+
+// flushLeaves drops every cached leaf once the budget has refused as many
+// admissions as it holds, giving the cache a fresh shot at the current
+// access pattern. Readers holding *node pointers are unaffected — they
+// simply re-admit on their next miss. Internal nodes stay put.
+func (t *Tree) flushLeaves() {
+	t.flushMu.Lock()
+	defer t.flushMu.Unlock()
+	if t.skips.Load() < t.maxCached {
+		return // another goroutine already flushed
+	}
+	t.nodes.Range(func(k, v any) bool {
+		if v.(*node).leaf {
+			t.nodes.Delete(k)
+		}
+		return true
+	})
+	t.cached.Store(0)
+	t.skips.Store(0)
 }
 
 func (t *Tree) store(n *node) error {
@@ -215,6 +299,13 @@ func (t *Tree) store(n *node) error {
 	n.encode(pg.Data)
 	pg.MarkDirty()
 	t.pg.Release(pg)
+	// Keep the decoded cache coherent: replace an existing entry
+	// unconditionally, admit a new one only within the bound.
+	if _, ok := t.nodes.Load(n.id); ok {
+		t.nodes.Store(n.id, n)
+	} else {
+		t.cacheNode(n)
+	}
 	return nil
 }
 
@@ -350,7 +441,9 @@ func (t *Tree) split(n *node) ([]byte, pager.PageID, error) {
 	return sep, right.id, nil
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The returned slice aliases the
+// shared decoded-node cache: treat it as read-only and copy it before
+// mutating or retaining it past the next tree write.
 func (t *Tree) Get(key []byte) ([]byte, bool, error) {
 	id := t.root
 	for {
@@ -399,8 +492,8 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 
 // Scan calls fn for every entry with lo ≤ key < hi in key order. A nil hi
 // scans to the end. Iteration stops early when fn returns false. The key and
-// value slices passed to fn are owned by the iteration and must not be
-// retained.
+// value slices passed to fn alias the shared decoded-node cache: fn must
+// not mutate or retain them (copy what it keeps).
 func (t *Tree) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
 	id := t.root
 	for {

@@ -25,7 +25,10 @@ const (
 )
 
 // Dict is a persistent string→id dictionary. Ids are assigned densely in
-// insertion order starting at 0. Not safe for concurrent use.
+// insertion order starting at 0. Intern requires exclusive access; once all
+// writes are done (the index is built or opened), Lookup, Key, and Len are
+// safe for any number of concurrent readers — they only read the in-memory
+// maps, which no longer change.
 type Dict struct {
 	f     *os.File
 	ids   map[string]uint64

@@ -4,6 +4,19 @@
 //
 // It is the substrate beneath the path index's B+ tree, replacing the
 // paper's use of KyotoCabinet/Neo4j as disk-based stores.
+//
+// # Concurrency
+//
+// The buffer pool is sharded by page id: Get and Release on different pages
+// land on different shard locks, so many concurrent readers probe the pool
+// with almost no contention (the online phase serves every query from the
+// same opened pager). Structural mutations — Allocate, Free, SetMeta — are
+// serialized behind a single allocation lock and must additionally be
+// externally serialized against Sync/Close; the path index builder is the
+// only writer and is single-threaded through the store path. Page contents
+// themselves are not latched: concurrent readers of the same page are safe,
+// but a writer mutating a page's Data must have exclusive ownership of that
+// page (again the builder's situation).
 package pager
 
 import (
@@ -13,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page within the file. Page 0 is the header and is
@@ -30,6 +45,10 @@ const DefaultCachePages = 1024
 
 // MetaSize is the number of client metadata bytes stored in the header.
 const MetaSize = 64
+
+// maxShards caps the buffer pool's lock striping factor (power of two).
+// Small pools use fewer shards so the total capacity bound stays exact.
+const maxShards = 16
 
 const (
 	headerMagic   = "PEGP"
@@ -62,21 +81,30 @@ type Options struct {
 	ReadOnly   bool
 }
 
-// Pager manages the page file. It is not safe for concurrent use; callers
-// requiring concurrency must serialize access (the path index builder does).
+// shard is one stripe of the buffer pool with its own lock and LRU list.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	cache    map[PageID]*Page
+	lru      *list.List // front = most recently used
+}
+
+// Pager manages the page file. Read access (Get/Release) is safe for
+// concurrent use; see the package comment for the writer rules.
 type Pager struct {
 	f        *os.File
 	pageSize int
-	capacity int
 	readOnly bool
 
-	nPages   uint64 // total pages including header
+	nPages atomic.Uint64 // total pages including header
+
+	// allocMu guards freeHead, meta, metaDirt, and header writes.
+	allocMu  sync.Mutex
 	freeHead PageID
 	meta     [MetaSize]byte
 	metaDirt bool
 
-	cache map[PageID]*Page
-	lru   *list.List // front = most recently used; holds unpinned and pinned pages alike
+	shards []shard // power-of-two length
 }
 
 // Open opens or creates a page file.
@@ -101,10 +129,20 @@ func Open(path string, opt Options) (*Pager, error) {
 	p := &Pager{
 		f:        f,
 		pageSize: opt.PageSize,
-		capacity: opt.CachePages,
 		readOnly: opt.ReadOnly,
-		cache:    make(map[PageID]*Page),
-		lru:      list.New(),
+	}
+	nShards := 1
+	for nShards*2 <= maxShards && nShards*2 <= opt.CachePages {
+		nShards *= 2
+	}
+	p.shards = make([]shard, nShards)
+	for i := range p.shards {
+		p.shards[i].capacity = opt.CachePages / nShards
+		if i < opt.CachePages%nShards {
+			p.shards[i].capacity++
+		}
+		p.shards[i].cache = make(map[PageID]*Page)
+		p.shards[i].lru = list.New()
 	}
 	st, err := f.Stat()
 	if err != nil {
@@ -116,7 +154,7 @@ func Open(path string, opt Options) (*Pager, error) {
 			f.Close()
 			return nil, errors.New("pager: empty file opened read-only")
 		}
-		p.nPages = 1
+		p.nPages.Store(1)
 		if err := p.writeHeader(); err != nil {
 			f.Close()
 			return nil, err
@@ -128,27 +166,37 @@ func Open(path string, opt Options) (*Pager, error) {
 	return p, nil
 }
 
+func (p *Pager) shard(id PageID) *shard { return &p.shards[uint64(id)&uint64(len(p.shards)-1)] }
+
 // PageSize returns the configured page size.
 func (p *Pager) PageSize() int { return p.pageSize }
 
 // NumPages returns the total number of pages, including the header page.
-func (p *Pager) NumPages() uint64 { return p.nPages }
+func (p *Pager) NumPages() uint64 { return p.nPages.Load() }
 
 // Meta returns a copy of the client metadata area.
-func (p *Pager) Meta() [MetaSize]byte { return p.meta }
+func (p *Pager) Meta() [MetaSize]byte {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
+	return p.meta
+}
 
 // SetMeta replaces the client metadata area; it is persisted on Sync/Close.
 func (p *Pager) SetMeta(m [MetaSize]byte) {
+	p.allocMu.Lock()
 	p.meta = m
 	p.metaDirt = true
+	p.allocMu.Unlock()
 }
 
+// writeHeader persists the header page. Callers must hold allocMu or have
+// exclusive access to the pager.
 func (p *Pager) writeHeader() error {
 	buf := make([]byte, p.pageSize)
 	copy(buf, headerMagic)
 	binary.LittleEndian.PutUint32(buf[4:], headerVersion)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(p.pageSize))
-	binary.LittleEndian.PutUint64(buf[16:], p.nPages)
+	binary.LittleEndian.PutUint64(buf[16:], p.nPages.Load())
 	binary.LittleEndian.PutUint64(buf[24:], uint64(p.freeHead))
 	copy(buf[32:32+MetaSize], p.meta[:])
 	if _, err := p.f.WriteAt(buf, 0); err != nil {
@@ -173,28 +221,44 @@ func (p *Pager) readHeader() error {
 	if ps != uint64(p.pageSize) {
 		return fmt.Errorf("pager: file page size %d, opened with %d", ps, p.pageSize)
 	}
-	p.nPages = binary.LittleEndian.Uint64(buf[16:])
+	p.nPages.Store(binary.LittleEndian.Uint64(buf[16:]))
 	p.freeHead = PageID(binary.LittleEndian.Uint64(buf[24:]))
 	copy(p.meta[:], buf[32:32+MetaSize])
 	return nil
 }
 
 // Get pins and returns the page with the given id, reading it from disk on a
-// cache miss. The caller must Release it.
+// cache miss. The caller must Release it. Safe for concurrent use.
 func (p *Pager) Get(id PageID) (*Page, error) {
-	if id == InvalidPage || uint64(id) >= p.nPages {
+	if id == InvalidPage || uint64(id) >= p.nPages.Load() {
 		return nil, fmt.Errorf("pager: page %d out of range", id)
 	}
-	if pg, ok := p.cache[id]; ok {
+	s := p.shard(id)
+	s.mu.Lock()
+	if pg, ok := s.cache[id]; ok {
 		pg.pins++
-		p.lru.MoveToFront(pg.elem)
+		s.lru.MoveToFront(pg.elem)
+		s.mu.Unlock()
 		return pg, nil
 	}
+	s.mu.Unlock()
+
+	// Miss: read outside the shard lock so concurrent misses on other pages
+	// of the same shard overlap their I/O.
 	data := make([]byte, p.pageSize)
 	if _, err := p.f.ReadAt(data, int64(id)*int64(p.pageSize)); err != nil {
 		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
 	}
-	return p.admit(id, data)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pg, ok := s.cache[id]; ok {
+		// Another reader admitted it while we were reading; use theirs.
+		pg.pins++
+		s.lru.MoveToFront(pg.elem)
+		return pg, nil
+	}
+	return p.admitLocked(s, id, data)
 }
 
 // Allocate pins and returns a zeroed new page, reusing a free page when one
@@ -203,22 +267,38 @@ func (p *Pager) Allocate() (*Page, error) {
 	if p.readOnly {
 		return nil, errors.New("pager: allocate on read-only pager")
 	}
+	p.allocMu.Lock()
 	if p.freeHead != InvalidPage {
+		// Hold allocMu across the whole pop so concurrent Allocate/Free
+		// cannot hand out the same page or lose a freed one (allocMu →
+		// shard lock ordering; nothing acquires them in reverse).
 		id := p.freeHead
 		pg, err := p.Get(id)
 		if err != nil {
+			p.allocMu.Unlock()
 			return nil, err
 		}
 		p.freeHead = PageID(binary.LittleEndian.Uint64(pg.Data))
+		p.allocMu.Unlock()
 		for i := range pg.Data {
 			pg.Data[i] = 0
 		}
 		pg.MarkDirty()
 		return pg, nil
 	}
-	id := PageID(p.nPages)
-	p.nPages++
-	return p.admit(id, make([]byte, p.pageSize))
+	id := PageID(p.nPages.Add(1) - 1)
+	p.allocMu.Unlock()
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := p.admitLocked(s, id, make([]byte, p.pageSize))
+	if err != nil {
+		return nil, err
+	}
+	// A fresh page has no on-disk image yet; mark it dirty so eviction
+	// writes it rather than losing it past EOF.
+	pg.MarkDirty()
+	return pg, nil
 }
 
 // Free returns a page to the free list. The page must be unpinned.
@@ -230,31 +310,38 @@ func (p *Pager) Free(id PageID) error {
 	if err != nil {
 		return err
 	}
+	s := p.shard(id)
+	s.mu.Lock()
 	if pg.pins > 1 {
-		p.Release(pg)
+		pg.pins--
+		s.mu.Unlock()
 		return fmt.Errorf("pager: freeing pinned page %d", id)
 	}
+	s.mu.Unlock()
+	p.allocMu.Lock()
 	binary.LittleEndian.PutUint64(pg.Data, uint64(p.freeHead))
 	p.freeHead = id
+	p.allocMu.Unlock()
 	pg.MarkDirty()
 	p.Release(pg)
 	return nil
 }
 
-func (p *Pager) admit(id PageID, data []byte) (*Page, error) {
-	if err := p.evictIfFull(); err != nil {
+// admitLocked inserts a page into shard s; s.mu must be held.
+func (p *Pager) admitLocked(s *shard, id PageID, data []byte) (*Page, error) {
+	if err := p.evictIfFullLocked(s); err != nil {
 		return nil, err
 	}
 	pg := &Page{ID: id, Data: data, pins: 1}
-	pg.elem = p.lru.PushFront(pg)
-	p.cache[id] = pg
+	pg.elem = s.lru.PushFront(pg)
+	s.cache[id] = pg
 	return pg, nil
 }
 
-func (p *Pager) evictIfFull() error {
-	for len(p.cache) >= p.capacity {
+func (p *Pager) evictIfFullLocked(s *shard) error {
+	for len(s.cache) >= s.capacity {
 		var victim *Page
-		for e := p.lru.Back(); e != nil; e = e.Prev() {
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
 			pg := e.Value.(*Page)
 			if pg.pins == 0 {
 				victim = pg
@@ -271,14 +358,18 @@ func (p *Pager) evictIfFull() error {
 				return err
 			}
 		}
-		p.lru.Remove(victim.elem)
-		delete(p.cache, victim.ID)
+		s.lru.Remove(victim.elem)
+		delete(s.cache, victim.ID)
 	}
 	return nil
 }
 
-// Release unpins a page previously returned by Get or Allocate.
+// Release unpins a page previously returned by Get or Allocate. Safe for
+// concurrent use.
 func (p *Pager) Release(pg *Page) {
+	s := p.shard(pg.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if pg.pins <= 0 {
 		panic(fmt.Sprintf("pager: release of unpinned page %d", pg.ID))
 	}
@@ -297,18 +388,28 @@ func (p *Pager) writePage(pg *Page) error {
 }
 
 // Sync writes all dirty pages and the header to disk and fsyncs the file.
+// It must not run concurrently with writers.
 func (p *Pager) Sync() error {
 	if p.readOnly {
 		return nil
 	}
-	for _, pg := range p.cache {
-		if pg.dirty {
-			if err := p.writePage(pg); err != nil {
-				return err
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, pg := range s.cache {
+			if pg.dirty {
+				if err := p.writePage(pg); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
-	if err := p.writeHeader(); err != nil {
+	p.allocMu.Lock()
+	err := p.writeHeader()
+	p.allocMu.Unlock()
+	if err != nil {
 		return err
 	}
 	return p.f.Sync()
@@ -332,11 +433,17 @@ type Stats struct {
 
 // Stats returns current buffer pool statistics.
 func (p *Pager) Stats() Stats {
-	s := Stats{CachedPages: len(p.cache), TotalPages: p.nPages}
-	for _, pg := range p.cache {
-		if pg.pins > 0 {
-			s.PinnedPages++
+	s := Stats{TotalPages: p.nPages.Load()}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		s.CachedPages += len(sh.cache)
+		for _, pg := range sh.cache {
+			if pg.pins > 0 {
+				s.PinnedPages++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return s
 }

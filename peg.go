@@ -43,6 +43,7 @@ import (
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/refgraph"
+	"repro/internal/server"
 )
 
 // Core model types, re-exported from the implementation packages. The
@@ -100,6 +101,16 @@ type (
 	MatchStats = core.Stats
 	// Strategy selects the matching variant (optimized or a baseline).
 	Strategy = core.Strategy
+
+	// Server is the concurrent HTTP/JSON query-serving front end.
+	Server = server.Server
+	// ServerOptions configures the server (worker pool, result cache,
+	// request timeout).
+	ServerOptions = server.Options
+	// MatchRequest is the JSON body of the server's /match endpoint.
+	MatchRequest = server.MatchRequest
+	// MatchResponse is the JSON body answering a match request.
+	MatchResponse = server.MatchResponse
 )
 
 // Identity semantics (see DESIGN.md "Semantics note").
@@ -183,3 +194,7 @@ func ParseQuery(src string, a *Alphabet) (*Query, error) { return query.ParseStr
 func Match(ctx context.Context, ix *Index, q *Query, opt MatchOptions) (*MatchResult, error) {
 	return core.Match(ctx, ix, q, opt)
 }
+
+// NewServer wraps an opened index in the concurrent HTTP/JSON query server;
+// mount NewServer(ix, opt).Handler() on an http.Server (see cmd/pegserve).
+func NewServer(ix *Index, opt ServerOptions) *Server { return server.New(ix, opt) }
