@@ -22,6 +22,7 @@ import (
 	"repro/internal/entity"
 	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/internal/join"
 	"repro/internal/pathindex"
 	"repro/internal/query"
 	"repro/internal/sqlbase"
@@ -91,6 +92,85 @@ func runMatch(b *testing.B, ix *pathindex.Index, q *query.Query, opt core.Option
 		b.Fatal(err)
 	}
 	return res
+}
+
+// streamBenchQuery picks the random q(5,4) with the largest match set at
+// α=0.1 on the main synthetic index, so the stream-vs-collect benchmarks
+// measure a match-rich workload where the difference matters.
+func streamBenchQuery(b *testing.B, ix *pathindex.Index) *query.Query {
+	b.Helper()
+	q, n := harness.FindRichQuery(ix, 5, 4, 0.1, 51, 20)
+	if n == 0 {
+		b.Skip("no match-rich query found")
+	}
+	return q
+}
+
+// BenchmarkMatchCollect is the buffered baseline for the streaming API:
+// one full core.Match run (all matches materialized and sorted).
+func BenchmarkMatchCollect(b *testing.B) {
+	ix := benchIndex(b, benchMain, 0.2, 3)
+	q := streamBenchQuery(b, ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runMatch(b, ix, q, core.Options{Alpha: 0.1})
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Matches)), "matches")
+		}
+	}
+}
+
+// BenchmarkMatchStream consumes the same result set through MatchStream —
+// no buffering, no final sort.
+func BenchmarkMatchStream(b *testing.B) {
+	ix := benchIndex(b, benchMain, 0.2, 3)
+	q := streamBenchQuery(b, ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.MatchStream(context.Background(), ix, q, core.Options{Alpha: 0.1},
+			func(join.Match) bool { return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(st.Matched), "matches")
+		}
+	}
+}
+
+// BenchmarkMatchLimit1 is first-match latency: MatchStream with Limit=1
+// aborts the join at the first hit, which must beat the full Match run on
+// the same workload.
+func BenchmarkMatchLimit1(b *testing.B) {
+	ix := benchIndex(b, benchMain, 0.2, 3)
+	q := streamBenchQuery(b, ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.MatchStream(context.Background(), ix, q, core.Options{Alpha: 0.1, Limit: 1},
+			func(join.Match) bool { return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Matched != 1 {
+			b.Fatalf("matched %d", st.Matched)
+		}
+	}
+}
+
+// BenchmarkMatchTopK is probability-ordered top-10 retrieval: the join runs
+// to completion but only a bounded 10-element heap is kept.
+func BenchmarkMatchTopK(b *testing.B) {
+	ix := benchIndex(b, benchMain, 0.2, 3)
+	q := streamBenchQuery(b, ix)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := core.MatchStream(context.Background(), ix, q,
+			core.Options{Alpha: 0.1, Limit: 10, Order: core.OrderByProb},
+			func(join.Match) bool { return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig6aOfflineTime reproduces Figure 6(a): offline phase running

@@ -2,23 +2,34 @@
 // configurable scale, printing one paper-style table per figure. See
 // EXPERIMENTS.md for recorded outputs and the paper-vs-measured comparison.
 //
+// -perf instead runs the stream-vs-collect API microbenchmarks and writes a
+// machine-readable BENCH_<date>.json (ns/op, allocs/op, matches/sec) so the
+// serving-path perf trajectory is tracked across PRs.
+//
 // Usage:
 //
 //	pegbench                     # full suite at default (scaled-down) size
 //	pegbench -only fig7e,fig7f   # selected figures
 //	pegbench -main 2000 -sizes 500,1000,2000,4000
+//	pegbench -perf               # write BENCH_<date>.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/join"
 )
 
 func main() {
@@ -33,6 +44,8 @@ func main() {
 		qpp     = flag.Int("queries", cfg.QueriesPerPoint, "random queries averaged per point")
 		timeout = flag.Duration("timeout", cfg.QueryTimeout, "per-query timeout")
 		seed    = flag.Int64("seed", cfg.Seed, "random seed")
+		perf    = flag.Bool("perf", false, "run the stream-vs-collect API microbenchmarks instead of the figures")
+		perfOut = flag.String("perf-out", "", "perf JSON output path (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 
@@ -53,6 +66,17 @@ func main() {
 	}
 	defer h.Close()
 
+	if *perf {
+		out := *perfOut
+		if out == "" {
+			out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+		}
+		if err := runPerf(h, out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	start := time.Now()
 	if *only == "" {
 		if err := h.RunAll(os.Stdout); err != nil {
@@ -72,6 +96,146 @@ func main() {
 		}
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// perfFile is the machine-readable benchmark record written by -perf; one
+// file per date, so the serving-path perf trajectory accumulates in the repo
+// and regressions are diffable across PRs.
+type perfFile struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	MainSize   int         `json:"main_size"`
+	Alpha      float64     `json:"alpha"`
+	QueryNodes int         `json:"query_nodes"`
+	QueryEdges int         `json:"query_edges"`
+	Benchmarks []perfBench `json:"benchmarks"`
+}
+
+// perfBench is one benchmark row of the perf record.
+type perfBench struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	MatchesPerOp  int     `json:"matches_per_op"`
+	MatchesPerSec float64 `json:"matches_per_sec"`
+}
+
+// runPerf benchmarks the result-producing API shapes against each other on
+// the main synthetic workload — full collect, streamed consumption,
+// first-match (Limit 1), and top-K by probability — and writes the rows to
+// out as JSON.
+func runPerf(h *harness.Harness, out string) error {
+	const (
+		alpha      = 0.1
+		queryNodes = 5
+		queryEdges = 4
+	)
+	cfg := h.Config()
+	g, err := h.Graph(cfg.MainSize, 0.2)
+	if err != nil {
+		return err
+	}
+	ix, err := h.Index(fmt.Sprintf("synth-%d-0.20", cfg.MainSize), g, 3, 0.1)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	q, richness := harness.FindRichQuery(ix, queryNodes, queryEdges, alpha, cfg.Seed, 30)
+	if richness == 0 {
+		return fmt.Errorf("perf: no viable query found")
+	}
+
+	variants := []struct {
+		name string
+		run  func() (matches int, err error)
+	}{
+		{"match-collect", func() (int, error) {
+			res, err := core.Match(ctx, ix, q, core.Options{Alpha: alpha})
+			if err != nil {
+				return 0, err
+			}
+			return len(res.Matches), nil
+		}},
+		{"match-stream", func() (int, error) {
+			st, err := core.MatchStream(ctx, ix, q, core.Options{Alpha: alpha},
+				func(join.Match) bool { return true })
+			return st.Matched, err
+		}},
+		{"match-stream-limit1", func() (int, error) {
+			st, err := core.MatchStream(ctx, ix, q, core.Options{Alpha: alpha, Limit: 1},
+				func(join.Match) bool { return true })
+			return st.Matched, err
+		}},
+		{"match-topk10-prob", func() (int, error) {
+			st, err := core.MatchStream(ctx, ix, q,
+				core.Options{Alpha: alpha, Limit: 10, Order: core.OrderByProb},
+				func(join.Match) bool { return true })
+			return st.Matched, err
+		}},
+	}
+
+	rec := perfFile{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		MainSize:   cfg.MainSize,
+		Alpha:      alpha,
+		QueryNodes: queryNodes,
+		QueryEdges: queryEdges,
+	}
+	for _, v := range variants {
+		matches, err := v.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.run(); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("%s: %w", v.name, benchErr)
+		}
+		ns := float64(r.NsPerOp())
+		row := perfBench{
+			Name:         v.name,
+			NsPerOp:      ns,
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			MatchesPerOp: matches,
+		}
+		if ns > 0 {
+			row.MatchesPerSec = float64(matches) * 1e9 / ns
+		}
+		rec.Benchmarks = append(rec.Benchmarks, row)
+		fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %6d matches %12.0f matches/s\n",
+			v.name, row.NsPerOp, row.AllocsPerOp, row.MatchesPerOp, row.MatchesPerSec)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 func parseInts(s string) []int {

@@ -1,10 +1,14 @@
 // Command pegquery runs the online phase: it loads a PGD and a prebuilt
-// index, parses a query in the text DSL, and prints all probabilistic
-// matches with probability ≥ α together with the per-stage statistics.
+// index, parses a query in the text DSL, and streams probabilistic matches
+// with probability ≥ α as the join enumeration finds them, together with the
+// per-stage statistics. -limit stops the search after N matches (-order prob
+// turns it into top-N by probability instead), so a hot query pays only for
+// the page it prints.
 //
 // Usage:
 //
 //	pegquery -pgd graph.pgd -dir ./index -query q.txt -alpha 0.25
+//	pegquery -pgd graph.pgd -dir ./index -query q.txt -limit 10 -order prob
 //	echo 'node A l0
 //	node B l1
 //	edge A B' | pegquery -pgd graph.pgd -dir ./index -alpha 0.5
@@ -34,7 +38,8 @@ func main() {
 		queryPath = flag.String("query", "", "query file in the DSL (default: stdin)")
 		alpha     = flag.Float64("alpha", 0.25, "probability threshold α")
 		strategy  = flag.String("strategy", "optimized", "optimized, random-decomp, or no-ss-reduction")
-		limit     = flag.Int("limit", 20, "max matches to print (0 = all)")
+		limit     = flag.Int("limit", 20, "stop after N matches (0 = enumerate all)")
+		order     = flag.String("order", "emit", "emit (as found, lowest latency) or prob (top-N by probability)")
 		stats     = flag.Bool("stats", false, "print per-stage statistics")
 	)
 	flag.Parse()
@@ -53,6 +58,15 @@ func main() {
 		strat = peg.StrategyNoSSReduction
 	default:
 		log.Fatalf("unknown strategy %q", *strategy)
+	}
+	var ord peg.ResultOrder
+	switch *order {
+	case "emit":
+		ord = peg.OrderEmit
+	case "prob":
+		ord = peg.OrderByProb
+	default:
+		log.Fatalf("unknown order %q", *order)
 	}
 
 	f, err := os.Open(*pgdPath)
@@ -90,27 +104,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := peg.Match(ctx, ix, q, peg.MatchOptions{Alpha: *alpha, Strategy: strat})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("%d matches with Pr ≥ %v (query: %d nodes, %d edges)\n",
-		len(res.Matches), *alpha, q.NumNodes(), q.NumEdges())
-	for i, m := range res.Matches {
-		if *limit > 0 && i >= *limit {
-			fmt.Printf("... and %d more\n", len(res.Matches)-i)
-			break
-		}
+	// Stream matches as the join finds them: with -limit the enumeration
+	// stops at the Nth match instead of computing the full set and slicing.
+	fmt.Printf("matches with Pr ≥ %v (query: %d nodes, %d edges):\n",
+		*alpha, q.NumNodes(), q.NumEdges())
+	st, err := peg.MatchStream(ctx, ix, q, peg.MatchOptions{
+		Alpha: *alpha, Strategy: strat, Limit: *limit, Order: ord,
+	}, func(m peg.MatchRecord) bool {
 		parts := make([]string, len(m.Mapping))
 		for j, v := range m.Mapping {
 			parts[j] = fmt.Sprintf("n%d→e%d", j, v)
 		}
 		fmt.Printf("  %s  Pr=%.6f (Prle=%.6f, Prn=%.6f)\n",
 			strings.Join(parts, " "), m.Pr(), m.Prle, m.Prn)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if st.Truncated {
+		fmt.Printf("%d matches shown (limit %d reached; more may exist above α)\n", st.Matched, *limit)
+	} else {
+		fmt.Printf("%d matches\n", st.Matched)
 	}
 	if *stats {
-		st := res.Stats
 		fmt.Printf("\nstats:\n")
 		fmt.Printf("  decomposition paths: %d\n", st.NumPaths)
 		fmt.Printf("  search space (log10): path=%.2f context=%.2f structure=%.2f final=%.2f\n",

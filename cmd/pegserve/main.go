@@ -1,12 +1,15 @@
 // Command pegserve serves the online phase over HTTP: it loads a PGD
-// snapshot, opens (or builds) the path index, and answers /match and
-// /match/batch queries concurrently with a bounded worker pool and an LRU
-// result cache.
+// snapshot, opens (or builds) the path index, and answers /match,
+// /match/stream, and /match/batch queries concurrently with a bounded worker
+// pool and an LRU result cache. /match accepts limit and order fields for
+// top-K retrieval; /match/stream emits NDJSON match lines incrementally as
+// the join enumeration finds them.
 //
 // Usage:
 //
 //	pegserve -pgd graph.pgd -dir ./index -addr :8080
-//	curl -s localhost:8080/match -d '{"query":"node A r\nnode B a\nedge A B","alpha":0.2}'
+//	curl -s localhost:8080/match -d '{"query":"node A r\nnode B a\nedge A B","alpha":0.2,"limit":10,"order":"prob"}'
+//	curl -sN localhost:8080/match/stream -d '{"query":"node A r\nnode B a\nedge A B","alpha":0.2}'
 //	curl -s localhost:8080/stats
 package main
 

@@ -88,18 +88,20 @@ edge engineer prof
 `, alpha)
 	check(err)
 
-	res, err := peg.Match(context.Background(), ix, q, peg.MatchOptions{Alpha: 0.3})
-	check(err)
-	fmt.Printf("\ncross-sector triangles with Pr ≥ 0.3: %d\n", len(res.Matches))
-	for i, m := range res.Matches {
-		if i == 5 {
-			fmt.Printf("  … and %d more\n", len(res.Matches)-5)
-			break
-		}
+	// Top-K retrieval: only the 5 most probable triangles are wanted, so
+	// the run keeps a bounded 5-element heap instead of the full match set.
+	fmt.Printf("\nmost probable cross-sector triangles with Pr ≥ 0.3:\n")
+	st, err := peg.MatchStream(context.Background(), ix, q, peg.MatchOptions{
+		Alpha: 0.3, Limit: 5, Order: peg.OrderByProb,
+	}, func(m peg.MatchRecord) bool {
 		fmt.Printf("  prof=e%d researcher=e%d engineer=e%d  Pr=%.3f\n",
 			m.Mapping[0], m.Mapping[1], m.Mapping[2], m.Pr())
+		return true
+	})
+	check(err)
+	if st.Truncated {
+		fmt.Printf("  … and more beyond the top %d\n", st.Matched)
 	}
-	st := res.Stats
 	fmt.Printf("\nsearch space progression: %0.f → %0.f → %0.f candidates (index → context → reduced)\n",
 		st.SSPath, st.SSContext, st.SSFinal)
 }

@@ -65,14 +65,19 @@ edge q2 q3
 `, alpha)
 	check(err)
 
+	// Matches stream out of the join enumeration as they are found — no
+	// buffering of the full result set; break (or set Limit) to stop the
+	// search early.
 	for _, threshold := range []float64{0.2, 0.01} {
-		res, err := peg.Match(context.Background(), ix, q, peg.MatchOptions{Alpha: threshold})
-		check(err)
-		fmt.Printf("\nα = %v: %d match(es)\n", threshold, len(res.Matches))
-		for _, m := range res.Matches {
+		fmt.Printf("\nα = %v:\n", threshold)
+		n := 0
+		for m, err := range peg.MatchSeq(context.Background(), ix, q, peg.MatchOptions{Alpha: threshold}) {
+			check(err)
+			n++
 			fmt.Printf("  ψ = %v  Pr = %.4f (labels/edges %.4f × identity %.4f)\n",
 				m.Mapping, m.Pr(), m.Prle, m.Prn)
 		}
+		fmt.Printf("  %d match(es)\n", n)
 	}
 }
 

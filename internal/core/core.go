@@ -7,14 +7,17 @@
 package core
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
+	"iter"
 	"math/rand"
 	"sort"
 	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/decompose"
+	"repro/internal/entity"
 	"repro/internal/join"
 	"repro/internal/kpartite"
 	"repro/internal/pathindex"
@@ -48,6 +51,33 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// ResultOrder selects how MatchStream emits matches.
+type ResultOrder int
+
+const (
+	// OrderEmit (default) emits matches in the order the join enumeration
+	// discovers them: lowest latency to the first match, and with Limit > 0
+	// the enumeration stops as soon as Limit matches were emitted.
+	OrderEmit ResultOrder = iota
+	// OrderByProb emits matches in decreasing probability (ties broken by
+	// mapping). The join must run to completion before the first emission,
+	// but with Limit > 0 only the top-Limit matches are retained in a
+	// bounded min-heap, so memory stays O(Limit) regardless of the match
+	// count.
+	OrderByProb
+)
+
+// String implements fmt.Stringer.
+func (o ResultOrder) String() string {
+	switch o {
+	case OrderEmit:
+		return "emit"
+	case OrderByProb:
+		return "prob"
+	}
+	return fmt.Sprintf("ResultOrder(%d)", int(o))
+}
+
 // Options configures a match run.
 type Options struct {
 	// Alpha is the query probability threshold α.
@@ -60,6 +90,13 @@ type Options struct {
 	MaxLen int
 	// Rand seeds the random decomposition baseline (nil = deterministic).
 	Rand *rand.Rand
+	// Limit caps the number of emitted matches (0 = unlimited). With
+	// OrderEmit the join enumeration is aborted as soon as Limit matches
+	// were emitted; with OrderByProb it selects the top-Limit matches by
+	// probability. A truncated run sets Stats.Truncated.
+	Limit int
+	// Order selects the emission order (OrderEmit or OrderByProb).
+	Order ResultOrder
 }
 
 // Stats reports per-stage behaviour of one match run.
@@ -76,6 +113,13 @@ type Stats struct {
 	SSFinal          float64
 	// ReductionRounds counts upperbound message-passing rounds.
 	ReductionRounds int
+	// Matched counts the matches emitted by this run.
+	Matched int
+	// Truncated reports that the emitted set may be incomplete: the
+	// enumeration was stopped by Limit or by the consumer before it was
+	// exhausted (OrderEmit), or matches beyond the top-Limit were
+	// discarded (OrderByProb). More matches above α may exist.
+	Truncated bool
 	// Per-stage wall clock.
 	DecomposeTime time.Duration
 	CandidateTime time.Duration
@@ -93,22 +137,55 @@ type Result struct {
 
 // Match answers a probabilistic subgraph pattern matching query
 // (Definition 5) over the graph behind the given index: all matches M with
-// Pr(M) ≥ α, together with per-stage statistics.
+// Pr(M) ≥ α, together with per-stage statistics. It is a thin collect-all
+// adapter over MatchStream; with Order == OrderEmit the collected matches
+// are sorted by mapping (then probability) for deterministic output, with
+// OrderByProb the probability-descending stream order is preserved.
 func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options) (*Result, error) {
+	var ms []join.Match
+	st, err := MatchStream(ctx, ix, q, opt, func(m join.Match) bool {
+		ms = append(ms, m)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.Order == OrderEmit {
+		sortMatches(ms)
+	}
+	return &Result{Matches: ms, Stats: st}, nil
+}
+
+// MatchStream answers the same query as Match but drives a per-match yield
+// callback instead of buffering the result set: matches flow to the caller
+// as the join enumeration finds them (OrderEmit), so the first match costs
+// a fraction of the full run and opt.Limit / ctx cancellation abort the
+// remaining search immediately. Returning false from yield stops the stream
+// (not an error). The returned Stats cover whatever part of the run
+// happened; on error the partial results already yielded should be
+// discarded.
+func MatchStream(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options, yield func(join.Match) bool) (Stats, error) {
 	start := time.Now()
+	var st Stats
 	if opt.Alpha <= 0 || opt.Alpha > 1 {
-		return nil, fmt.Errorf("core: alpha %v out of range (0,1]", opt.Alpha)
+		return st, fmt.Errorf("core: alpha %v out of range (0,1]", opt.Alpha)
+	}
+	if opt.Limit < 0 {
+		return st, fmt.Errorf("core: negative limit %d", opt.Limit)
+	}
+	switch opt.Order {
+	case OrderEmit, OrderByProb:
+	default:
+		return st, fmt.Errorf("core: unknown result order %d", int(opt.Order))
 	}
 	g := ix.Graph()
 	if err := q.Validate(g.Alphabet()); err != nil {
-		return nil, err
+		return st, err
 	}
 	maxLen := opt.MaxLen
 	if maxLen <= 0 {
 		maxLen = ix.MaxLen()
 	}
-
-	var st Stats
 
 	// 1. Path decomposition (Section 5.2.1).
 	t0 := time.Now()
@@ -123,7 +200,7 @@ func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options
 		Rand:   opt.Rand,
 	})
 	if err != nil {
-		return nil, err
+		return st, err
 	}
 	st.NumPaths = len(dec.Paths)
 	st.DecomposeTime = time.Since(t0)
@@ -132,7 +209,7 @@ func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options
 	t0 = time.Now()
 	sets, cstats, err := candidates.Find(ctx, ix, q, dec, opt.Alpha, opt.Workers)
 	if err != nil {
-		return nil, err
+		return st, err
 	}
 	st.SSPath = cstats.SSPath
 	st.SSContext = cstats.SSContext
@@ -142,7 +219,7 @@ func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options
 	t0 = time.Now()
 	kg, err := kpartite.Build(ctx, g, q, dec, sets, opt.Alpha)
 	if err != nil {
-		return nil, err
+		return st, err
 	}
 	st.BuildTime = time.Since(t0)
 
@@ -155,7 +232,7 @@ func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options
 	default:
 		rst, err := kg.Reduce(ctx, opt.Workers)
 		if err != nil {
-			return nil, err
+			return st, err
 		}
 		st.SSAfterStructure = rst.SSAfterStructure
 		st.SSFinal = rst.SSAfterUpperbound
@@ -163,22 +240,66 @@ func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options
 	}
 	st.ReduceTime = time.Since(t0)
 
-	// 5. Final match generation (Section 5.2.5).
+	// 5. Final match generation (Section 5.2.5), streamed.
 	t0 = time.Now()
 	orderMode := join.OrderHeuristic
 	if opt.Strategy == StrategyRandomDecomp {
 		orderMode = join.OrderByCardinality
 	}
 	order := join.Order(dec, orderMode)
-	matches, err := join.FindMatches(ctx, g, q, dec, kg, order, opt.Alpha)
+	if opt.Order == OrderByProb {
+		err = streamTopK(ctx, g, q, dec, kg, order, opt, yield, &st)
+	} else {
+		err = streamEmit(ctx, g, q, dec, kg, order, opt, yield, &st)
+	}
 	if err != nil {
-		return nil, err
+		return st, err
 	}
 	st.JoinTime = time.Since(t0)
 	st.Total = time.Since(start)
+	return st, nil
+}
 
-	sortMatches(matches)
-	return &Result{Matches: matches, Stats: st}, nil
+// streamEmit drives the join enumeration straight into yield, stopping the
+// enumeration (not just the emission) when Limit is reached or the consumer
+// returns false.
+func streamEmit(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, yield func(join.Match) bool, st *Stats) error {
+	return join.FindMatchesFunc(ctx, g, q, dec, kg, order, opt.Alpha, func(m join.Match) bool {
+		st.Matched++
+		if !yield(m) {
+			st.Truncated = true
+			return false
+		}
+		if opt.Limit > 0 && st.Matched >= opt.Limit {
+			st.Truncated = true
+			return false
+		}
+		return true
+	})
+}
+
+// streamTopK runs the join to completion, retaining the Limit best matches
+// under probability order in a bounded min-heap, then emits them in
+// decreasing probability. With Limit == 0 every match is retained and
+// sorted.
+func streamTopK(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, yield func(join.Match) bool, st *Stats) error {
+	top := newTopK(opt.Limit)
+	err := join.FindMatchesFunc(ctx, g, q, dec, kg, order, opt.Alpha, func(m join.Match) bool {
+		top.offer(m)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	st.Truncated = top.dropped > 0
+	for _, m := range top.sorted() {
+		st.Matched++
+		if !yield(m) {
+			st.Truncated = true
+			break
+		}
+	}
+	return nil
 }
 
 // ReductionStats isolates the joint search-space reduction for the Figure
@@ -220,15 +341,112 @@ func ProbeReduction(ctx context.Context, ix *pathindex.Index, q *query.Query, al
 	}, nil
 }
 
-// sortMatches orders matches by mapping for deterministic output.
+// MatchSeq is the Go-1.23 iterator form of MatchStream: it ranges over the
+// matches of one run, yielding (match, nil) pairs and, if the run fails, a
+// final (zero, err) pair. Breaking out of the loop stops the underlying
+// enumeration immediately.
+//
+//	for m, err := range core.MatchSeq(ctx, ix, q, opt) {
+//		if err != nil { ... }
+//		use(m)
+//	}
+func MatchSeq(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options) iter.Seq2[join.Match, error] {
+	return func(yield func(join.Match, error) bool) {
+		stopped := false
+		_, err := MatchStream(ctx, ix, q, opt, func(m join.Match) bool {
+			if !yield(m, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(join.Match{}, err)
+		}
+	}
+}
+
+// betterMatch is the probability total order used by OrderByProb: higher
+// Pr first, equal probabilities broken by mapping so the ranking — and in
+// particular the top-K cut — is fully deterministic.
+func betterMatch(a, b join.Match) bool {
+	pa, pb := a.Pr(), b.Pr()
+	if pa != pb {
+		return pa > pb
+	}
+	return mappingLess(a.Mapping, b.Mapping)
+}
+
+func mappingLess(a, b []entity.ID) bool {
+	for k := range a {
+		if k >= len(b) {
+			return false
+		}
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// topK retains the best matches under betterMatch. With limit > 0 it is a
+// bounded min-heap whose root is the worst retained match (O(limit) memory,
+// O(log limit) per offer); with limit == 0 it keeps everything.
+type topK struct {
+	limit   int
+	heap    matchHeap
+	dropped int
+}
+
+func newTopK(limit int) *topK { return &topK{limit: limit} }
+
+// offer considers one match for the retained set.
+func (t *topK) offer(m join.Match) {
+	if t.limit <= 0 {
+		t.heap = append(t.heap, m)
+		return
+	}
+	if len(t.heap) < t.limit {
+		heap.Push(&t.heap, m)
+		return
+	}
+	if betterMatch(m, t.heap[0]) {
+		t.heap[0] = m
+		heap.Fix(&t.heap, 0)
+	}
+	t.dropped++
+}
+
+// sorted consumes the retained set, returning it best-first.
+func (t *topK) sorted() []join.Match {
+	ms := []join.Match(t.heap)
+	t.heap = nil
+	sort.Slice(ms, func(i, j int) bool { return betterMatch(ms[i], ms[j]) })
+	return ms
+}
+
+// matchHeap is a min-heap under betterMatch: the root is the worst retained
+// match, which a better offer evicts.
+type matchHeap []join.Match
+
+func (h matchHeap) Len() int           { return len(h) }
+func (h matchHeap) Less(i, j int) bool { return betterMatch(h[j], h[i]) }
+func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)        { *h = append(*h, x.(join.Match)) }
+func (h *matchHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// sortMatches orders matches by mapping for deterministic output, with a
+// final probability tie-break so even elementwise-equal mappings (which
+// would otherwise fall through to unstable slice order) sort the same way
+// across runs.
 func sortMatches(ms []join.Match) {
 	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i].Mapping, ms[j].Mapping
-		for k := range a {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+		a, b := ms[i], ms[j]
+		for k := range a.Mapping {
+			if a.Mapping[k] != b.Mapping[k] {
+				return a.Mapping[k] < b.Mapping[k]
 			}
 		}
-		return false
+		return a.Pr() > b.Pr()
 	})
 }

@@ -1,0 +1,312 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/join"
+	"repro/internal/naive"
+)
+
+// probLess is the probability total order of OrderByProb, reimplemented for
+// the tests: higher Pr first, ties broken by mapping.
+func probLess(a, b join.Match) bool {
+	pa, pb := a.Pr(), b.Pr()
+	if pa != pb {
+		return pa > pb
+	}
+	for k := range a.Mapping {
+		if a.Mapping[k] != b.Mapping[k] {
+			return a.Mapping[k] < b.Mapping[k]
+		}
+	}
+	return false
+}
+
+// TestStreamEquivalence: the collect-all adapter and a manual MatchStream
+// collection must agree exactly, for both emission orders, on random PGDs.
+func TestStreamEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4711))
+	for trial := 0; trial < 6; trial++ {
+		nLabels := rng.Intn(2) + 2
+		d := randomPGD(rng, nLabels, rng.Intn(12)+8)
+		g, err := entity.Build(d, entity.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := buildIx(t, g, 2, 0.05)
+		q := randomConnectedQuery(rng, nLabels, rng.Intn(3)+2, rng.Intn(2))
+		for _, order := range []core.ResultOrder{core.OrderEmit, core.OrderByProb} {
+			opt := core.Options{Alpha: 0.1, Order: order}
+			res, err := core.Match(context.Background(), ix, q, opt)
+			if err != nil {
+				t.Fatalf("trial %d %v: Match: %v", trial, order, err)
+			}
+			var streamed []join.Match
+			st, err := core.MatchStream(context.Background(), ix, q, opt, func(m join.Match) bool {
+				streamed = append(streamed, m)
+				return true
+			})
+			if err != nil {
+				t.Fatalf("trial %d %v: MatchStream: %v", trial, order, err)
+			}
+			if !matchSetsEqual(res.Matches, streamed) {
+				t.Errorf("trial %d %v: stream %d matches, collect %d",
+					trial, order, len(streamed), len(res.Matches))
+			}
+			if st.Matched != len(streamed) {
+				t.Errorf("trial %d %v: Stats.Matched = %d, want %d", trial, order, st.Matched, len(streamed))
+			}
+			if st.Truncated {
+				t.Errorf("trial %d %v: unlimited run reported Truncated", trial, order)
+			}
+			if order == core.OrderByProb && !sort.SliceIsSorted(streamed, func(i, j int) bool {
+				return probLess(streamed[i], streamed[j])
+			}) {
+				t.Errorf("trial %d: OrderByProb stream not probability-sorted", trial)
+			}
+		}
+	}
+}
+
+// TestTopKMatchesBruteForce is the Limit=K property: for every K, the
+// limited OrderByProb run returns exactly the first K entries of the
+// probability-sorted brute-force match set.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(90125))
+	trials := 10
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		nLabels := rng.Intn(2) + 2
+		d := randomPGD(rng, nLabels, rng.Intn(12)+8)
+		g, err := entity.Build(d, entity.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := buildIx(t, g, 2, 0.05)
+		q := randomConnectedQuery(rng, nLabels, rng.Intn(3)+2, rng.Intn(2))
+		alpha := []float64{0.05, 0.2}[rng.Intn(2)]
+
+		want, err := naive.Matches(context.Background(), g, q, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(want, func(i, j int) bool { return probLess(want[i], want[j]) })
+
+		for _, k := range []int{1, 2, 3, len(want), len(want) + 5} {
+			if k <= 0 {
+				continue
+			}
+			res, err := core.Match(context.Background(), ix, q, core.Options{
+				Alpha: alpha, Limit: k, Order: core.OrderByProb,
+			})
+			if err != nil {
+				t.Fatalf("trial %d K=%d: %v", trial, k, err)
+			}
+			wantK := want
+			if k < len(want) {
+				wantK = want[:k]
+			}
+			if len(res.Matches) != len(wantK) {
+				t.Fatalf("trial %d K=%d: got %d matches, want %d", trial, k, len(res.Matches), len(wantK))
+			}
+			for i, m := range res.Matches {
+				w := wantK[i]
+				if math.Abs(m.Pr()-w.Pr()) > 1e-9 {
+					t.Errorf("trial %d K=%d rank %d: Pr %v, want %v", trial, k, i, m.Pr(), w.Pr())
+				}
+				for j := range m.Mapping {
+					if m.Mapping[j] != w.Mapping[j] {
+						t.Errorf("trial %d K=%d rank %d: mapping %v, want %v", trial, k, i, m.Mapping, w.Mapping)
+						break
+					}
+				}
+			}
+			wantTrunc := k < len(want)
+			if res.Stats.Truncated != wantTrunc {
+				t.Errorf("trial %d K=%d: Truncated = %v, want %v (of %d)",
+					trial, k, res.Stats.Truncated, wantTrunc, len(want))
+			}
+		}
+	}
+}
+
+// TestLimitEmitStopsEnumeration: with OrderEmit, Limit=K yields exactly K
+// matches (when at least K exist), each a member of the unlimited match
+// set, with the truncation flagged.
+func TestLimitEmitStopsEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7321))
+	d := randomPGD(rng, 2, 14)
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.05)
+	q := randomConnectedQuery(rng, 2, 2, 1)
+
+	full, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) < 3 {
+		t.Skipf("workload too sparse: %d matches", len(full.Matches))
+	}
+	inFull := make(map[string]bool, len(full.Matches))
+	for _, m := range full.Matches {
+		inFull[mappingKey(m)] = true
+	}
+	for _, k := range []int{1, 2, len(full.Matches) - 1} {
+		res, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.05, Limit: k})
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if len(res.Matches) != k {
+			t.Fatalf("K=%d: got %d matches", k, len(res.Matches))
+		}
+		if !res.Stats.Truncated {
+			t.Errorf("K=%d: truncation not flagged", k)
+		}
+		if res.Stats.Matched != k {
+			t.Errorf("K=%d: Stats.Matched = %d", k, res.Stats.Matched)
+		}
+		for _, m := range res.Matches {
+			if !inFull[mappingKey(m)] {
+				t.Errorf("K=%d: match %v not in the unlimited set", k, m.Mapping)
+			}
+		}
+	}
+}
+
+func mappingKey(m join.Match) string {
+	buf := make([]byte, 0, len(m.Mapping)*4)
+	for _, v := range m.Mapping {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// TestCancellationMidStream: cancelling the context from inside the yield
+// aborts the enumeration with ctx.Err() — the error, not a silently
+// truncated success.
+func TestCancellationMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7321))
+	d := randomPGD(rng, 2, 14)
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.05)
+	q := randomConnectedQuery(rng, 2, 2, 1)
+	full, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) < 2 {
+		t.Skipf("workload too sparse: %d matches", len(full.Matches))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	_, err = core.MatchStream(ctx, ix, q, core.Options{Alpha: 0.05}, func(join.Match) bool {
+		seen++
+		cancel()
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MatchStream after mid-stream cancel: err = %v, want context.Canceled", err)
+	}
+	if seen == 0 {
+		t.Fatal("yield never ran before cancellation")
+	}
+	// The collect-all adapter discards partial results on error.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cancel2()
+	res, err := core.Match(ctx2, ix, q, core.Options{Alpha: 0.05})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Match on cancelled ctx: err = %v", err)
+	}
+	if res != nil {
+		t.Fatalf("Match on cancelled ctx returned partial results: %+v", res)
+	}
+}
+
+// TestMatchSeq: the iterator wrapper delivers the same matches as Match and
+// stops the enumeration when the consumer breaks.
+func TestMatchSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(7321))
+	d := randomPGD(rng, 2, 14)
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.05)
+	q := randomConnectedQuery(rng, 2, 2, 1)
+	full, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var collected []join.Match
+	for m, err := range core.MatchSeq(context.Background(), ix, q, core.Options{Alpha: 0.05}) {
+		if err != nil {
+			t.Fatalf("MatchSeq: %v", err)
+		}
+		collected = append(collected, m)
+	}
+	if !matchSetsEqual(full.Matches, collected) {
+		t.Errorf("MatchSeq delivered %d matches, Match %d", len(collected), len(full.Matches))
+	}
+
+	if len(full.Matches) >= 2 {
+		n := 0
+		for _, err := range core.MatchSeq(context.Background(), ix, q, core.Options{Alpha: 0.05}) {
+			if err != nil {
+				t.Fatalf("MatchSeq: %v", err)
+			}
+			n++
+			break
+		}
+		if n != 1 {
+			t.Errorf("break after first iteration saw %d matches", n)
+		}
+	}
+
+	// A failed run yields exactly one (zero, err) pair.
+	sawErr := false
+	for m, err := range core.MatchSeq(context.Background(), ix, q, core.Options{Alpha: -1}) {
+		if err == nil {
+			t.Fatalf("invalid options yielded a match: %v", m)
+		}
+		sawErr = true
+	}
+	if !sawErr {
+		t.Error("invalid options yielded nothing")
+	}
+}
+
+// TestStreamOptionValidation: malformed streaming options fail fast.
+func TestStreamOptionValidation(t *testing.T) {
+	g, err := entity.Build(randomPGD(rand.New(rand.NewSource(1)), 2, 8), entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 1, 0.1)
+	q := randomConnectedQuery(rand.New(rand.NewSource(1)), 2, 2, 0)
+	nop := func(join.Match) bool { return true }
+	if _, err := core.MatchStream(context.Background(), ix, q, core.Options{Alpha: 0.5, Limit: -1}, nop); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, err := core.MatchStream(context.Background(), ix, q, core.Options{Alpha: 0.5, Order: core.ResultOrder(99)}, nop); err == nil {
+		t.Error("unknown order accepted")
+	}
+}

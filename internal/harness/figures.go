@@ -286,6 +286,32 @@ func FindQuerySeed(ix *pathindex.Index, nLabels, n, m int, alpha float64, base i
 	return base
 }
 
+// FindRichQuery scans tries random q(n, m) seeds (spaced like
+// FindQuerySeed) and returns the query with the largest match set at the
+// given threshold, together with that match count — the workload selector
+// for the stream-vs-collect benchmarks, where the gap only shows on
+// match-rich queries. Returns (nil, 0) when no scanned query matches at
+// all. Exported for reuse by the root benchmarks and cmd/pegbench -perf.
+func FindRichQuery(ix *pathindex.Index, n, m int, alpha float64, base int64, tries int) (*query.Query, int) {
+	var best *query.Query
+	bestN := 0
+	for i := 0; i < tries; i++ {
+		rng := rand.New(rand.NewSource(base + int64(i)*104729))
+		q, err := gen.RandomQuery(rng, ix.Graph().NumLabels(), n, m)
+		if err != nil {
+			continue
+		}
+		res, err := core.Match(context.Background(), ix, q, core.Options{Alpha: alpha})
+		if err != nil {
+			continue
+		}
+		if len(res.Matches) > bestN {
+			bestN, best = len(res.Matches), q
+		}
+	}
+	return best, bestN
+}
+
 // RunFig7e reproduces Figure 7(e): search-space progression through the
 // pruning steps, for L ∈ Ls and 20%/80% uncertainty (log10 scale).
 func (h *Harness) RunFig7e(w io.Writer) error {

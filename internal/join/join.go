@@ -105,81 +105,121 @@ type partial struct {
 	asn   map[query.NodeID]entity.ID
 }
 
-// FindMatches enumerates all full matches with Pr(M) ≥ alpha from the
-// (possibly reduced) k-partite graph.
-func FindMatches(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, alpha float64) ([]Match, error) {
-	if len(order) == 0 {
-		return nil, nil
+// joined names an earlier ordered path that shares a join predicate with the
+// partition being extended, together with its position in the order.
+type joined struct{ part, pos int }
+
+// enumerator drives the depth-first enumeration of full matches: one partial
+// match is extended through the whole join order before the next sibling
+// candidate is tried, so complete matches surface as early as possible and an
+// early stop (Limit, ctx cancellation, consumer break) abandons the remaining
+// search tree immediately.
+type enumerator struct {
+	ctx   context.Context
+	g     *entity.Graph
+	q     *query.Query
+	dec   *decompose.Decomposition
+	kg    *kpartite.Graph
+	order []int
+	alpha float64
+	yield func(Match) bool
+	// joins[step] lists the earlier ordered paths with join predicates into
+	// order[step]; it depends only on the step, so it is precomputed once.
+	joins   [][]joined
+	ops     int
+	stopped bool
+}
+
+// descend extends pm with a candidate of order[step], recursing until the
+// order is exhausted and the complete assignment is finalized.
+func (e *enumerator) descend(pm partial, step int) error {
+	e.ops++
+	if e.ops&1023 == 0 {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
 	}
-	// Seed with the first partition's alive vertices.
+	if step == len(e.order) {
+		if m, ok := finalize(e.g, e.q, pm.asn, e.alpha); ok {
+			if !e.yield(m) {
+				e.stopped = true
+			}
+		}
+		return nil
+	}
+	b := e.order[step]
+	candIdxs := e.kg.AliveVertices(b)
+	if js := e.joins[step]; len(js) > 0 {
+		// Intersect the link lists from each joined chosen vertex.
+		candIdxs = e.kg.LinkedAlive(js[0].part, int(pm.verts[js[0].pos]), b)
+		for _, jd := range js[1:] {
+			candIdxs = intersectLinks(candIdxs, e.kg.Links(jd.part, int(pm.verts[jd.pos]), b))
+			if len(candIdxs) == 0 {
+				break
+			}
+		}
+	}
+	for _, ci := range candIdxs {
+		if e.stopped {
+			return nil
+		}
+		if !e.kg.Alive(b, int(ci)) {
+			continue
+		}
+		np, ok := extend(e.g, e.q, e.dec, e.kg, pm, b, int(ci), e.alpha, e.order[:step+1])
+		if !ok {
+			continue
+		}
+		if err := e.descend(np, step+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FindMatchesFunc enumerates full matches with Pr(M) ≥ alpha from the
+// (possibly reduced) k-partite graph, invoking yield once per match as it is
+// found. Enumeration is depth-first, so the first match is produced without
+// materializing the full result set. Returning false from yield stops the
+// enumeration immediately (FindMatchesFunc then returns nil); a context
+// cancellation mid-enumeration returns ctx.Err().
+func FindMatchesFunc(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, alpha float64, yield func(Match) bool) error {
+	if len(order) == 0 {
+		return nil
+	}
+	e := &enumerator{
+		ctx: ctx, g: g, q: q, dec: dec, kg: kg,
+		order: order, alpha: alpha, yield: yield,
+		joins: make([][]joined, len(order)),
+	}
+	for step := 1; step < len(order); step++ {
+		for pos := 0; pos < step; pos++ {
+			if len(dec.Preds(order[pos], order[step])) > 0 {
+				e.joins[step] = append(e.joins[step], joined{order[pos], pos})
+			}
+		}
+	}
+	// Seed with the first partition's alive vertices; each seed is driven
+	// depth-first through the rest of the order before the next one starts.
 	first := order[0]
-	var partials []partial
 	for _, fi := range kg.AliveVertices(first) {
+		if e.stopped {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		i := int(fi)
 		c := kg.Candidate(first, i)
 		asn := make(map[query.NodeID]entity.ID, q.NumNodes())
 		for pos, qn := range dec.Paths[first].Nodes {
 			asn[qn] = c.Nodes[pos]
 		}
-		partials = append(partials, partial{verts: []int32{int32(i)}, asn: asn})
-	}
-
-	for step := 1; step < len(order); step++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		b := order[step]
-		// Earlier ordered paths that join with b, with their order position.
-		type joined struct{ part, pos int }
-		var js []joined
-		for pos := 0; pos < step; pos++ {
-			if len(dec.Preds(order[pos], b)) > 0 {
-				js = append(js, joined{order[pos], pos})
-			}
-		}
-		var next []partial
-		for pi, pm := range partials {
-			if pi%1024 == 1023 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			candIdxs := kg.AliveVertices(b)
-			if len(js) > 0 {
-				// Intersect the link lists from each joined chosen vertex.
-				candIdxs = kg.LinkedAlive(js[0].part, int(pm.verts[js[0].pos]), b)
-				for _, jd := range js[1:] {
-					candIdxs = intersectLinks(candIdxs, kg.Links(jd.part, int(pm.verts[jd.pos]), b))
-					if len(candIdxs) == 0 {
-						break
-					}
-				}
-			}
-			for _, ci := range candIdxs {
-				if !kg.Alive(b, int(ci)) {
-					continue
-				}
-				np, ok := extend(g, q, dec, kg, pm, b, int(ci), alpha, order[:step+1])
-				if ok {
-					next = append(next, np)
-				}
-			}
-		}
-		partials = next
-		if len(partials) == 0 {
-			return nil, nil
+		if err := e.descend(partial{verts: []int32{int32(i)}, asn: asn}, 1); err != nil {
+			return err
 		}
 	}
-
-	// Final exact filter over the complete assignment.
-	var out []Match
-	for _, pm := range partials {
-		m, ok := finalize(g, q, pm.asn, alpha)
-		if ok {
-			out = append(out, m)
-		}
-	}
-	return out, nil
+	return nil
 }
 
 // extend adds partition b's candidate ci to the partial, checking assignment

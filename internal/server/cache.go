@@ -26,6 +26,8 @@ type cacheKey struct {
 	query    string // canonicalized DSL (parse → Format)
 	alpha    uint64 // math.Float64bits of α, so distinct floats never collide
 	strategy string
+	order    string // result order ("emit" or "prob")
+	limit    int    // match limit (0 = all) — a limited run is its own entry
 }
 
 type cacheEntry struct {

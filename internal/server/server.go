@@ -10,11 +10,15 @@
 //
 // Endpoints:
 //
-//	POST /match        one MatchRequest  → MatchResponse
-//	POST /match/batch  BatchRequest      → BatchResponse (items evaluated
-//	                                       concurrently through the pool)
-//	GET  /healthz      liveness + index identity
-//	GET  /stats        serving counters (requests, cache hits, rejections)
+//	POST /match         one MatchRequest  → MatchResponse (optionally
+//	                    limit/order fields for top-K retrieval)
+//	POST /match/stream  one MatchRequest  → NDJSON stream of StreamEvent
+//	                    lines: matches flushed incrementally as the join
+//	                    finds them, then a terminal done/error line
+//	POST /match/batch   BatchRequest      → BatchResponse (items evaluated
+//	                    concurrently through the pool)
+//	GET  /healthz       liveness + index identity
+//	GET  /stats         serving counters (requests, cache hits, rejections)
 package server
 
 import (
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/join"
 	"repro/internal/pathindex"
 	"repro/internal/query"
 )
@@ -162,7 +167,8 @@ func (s *Server) acquireIndex() (si *servedIndex, release func()) {
 	return si, func() { si.refs.Add(-1) }
 }
 
-// MatchRequest is the JSON body of /match and one item of /match/batch.
+// MatchRequest is the JSON body of /match, /match/stream, and one item of
+// /match/batch.
 type MatchRequest struct {
 	// Query is the text DSL ("node NAME LABEL" / "edge A B" lines).
 	Query string `json:"query"`
@@ -173,6 +179,14 @@ type MatchRequest struct {
 	Strategy string `json:"strategy,omitempty"`
 	// TimeoutMillis optionally lowers the server's request timeout.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Limit caps the number of returned matches (0 = all). With order
+	// "emit" the match enumeration stops as soon as Limit matches were
+	// produced; with order "prob" the top-Limit matches by probability are
+	// returned.
+	Limit int `json:"limit,omitempty"`
+	// Order is "emit" (default: enumeration order, lowest latency) or
+	// "prob" (decreasing probability — top-K together with Limit).
+	Order string `json:"order,omitempty"`
 }
 
 // MatchEntry is one probabilistic match in a response.
@@ -203,7 +217,31 @@ type MatchResponse struct {
 	Alpha      float64      `json:"alpha"`
 	Strategy   string       `json:"strategy"`
 	Cached     bool         `json:"cached"`
-	Stats      *MatchStats  `json:"stats,omitempty"`
+	// Truncated reports that the match set may be incomplete: the request's
+	// limit stopped the enumeration (order "emit") or discarded matches
+	// beyond the top-K (order "prob").
+	Truncated bool        `json:"truncated,omitempty"`
+	Stats     *MatchStats `json:"stats,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of a /match/stream response. Exactly one
+// field is set per line: a match, the final done summary, or a mid-stream
+// error (errors before the first byte use a plain HTTP error status
+// instead).
+type StreamEvent struct {
+	Match *MatchEntry `json:"match,omitempty"`
+	Done  *StreamDone `json:"done,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// StreamDone is the terminal NDJSON line of a successful /match/stream
+// response.
+type StreamDone struct {
+	NumMatches int         `json:"num_matches"`
+	Truncated  bool        `json:"truncated,omitempty"`
+	Alpha      float64     `json:"alpha"`
+	Strategy   string      `json:"strategy"`
+	Stats      *MatchStats `json:"stats,omitempty"`
 }
 
 // BatchRequest is the JSON body of /match/batch.
@@ -274,10 +312,105 @@ const maxBatchQueries = 256
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/match", s.handleMatch)
+	mux.HandleFunc("/match/stream", s.handleMatchStream)
 	mux.HandleFunc("/match/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+// handleMatchStream answers one match request as NDJSON: one StreamEvent
+// line per match, flushed as the join enumeration finds it, then a terminal
+// done (or error) line. Streaming responses bypass the result cache — the
+// point is first-match latency, which a buffered cache entry cannot
+// improve — but share the worker pool and admission control with /match.
+func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req MatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, decodeError(err))
+		return
+	}
+	s.requests.Add(1)
+	si, release := s.acquireIndex()
+	defer release()
+	p, err := s.parseParams(si.ix, &req)
+	if err != nil {
+		s.countFailure(err)
+		writeError(w, err)
+		return
+	}
+
+	timeout := s.opt.RequestTimeout
+	if req.TimeoutMillis > 0 {
+		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.countFailure(err)
+		writeError(w, err)
+		return
+	}
+	defer func() { <-s.sem }()
+
+	// Bound every event write by the request deadline: a client that stops
+	// reading mid-stream blocks the handler inside a write, where the ctx
+	// timeout alone cannot interrupt it — the write deadline makes the
+	// blocked write fail instead, releasing this worker slot on schedule.
+	if dl, ok := ctx.Deadline(); ok {
+		_ = http.NewResponseController(w).SetWriteDeadline(dl)
+	}
+
+	// The Content-Type is set up front but the 200 status only goes on the
+	// wire with the first event line, so a run that fails before producing
+	// any output can still answer with a real HTTP error status; after the
+	// first byte, failures become NDJSON error lines.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	clientGone := false
+	n := 0
+	st, matchErr := core.MatchStream(ctx, si.ix, p.q, p.options(s.opt.MatchWorkers), func(m join.Match) bool {
+		e := matchEntry(m)
+		if err := enc.Encode(&StreamEvent{Match: &e}); err != nil {
+			clientGone = true
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		n++
+		return true
+	})
+	if clientGone {
+		s.failed.Add(1)
+		return
+	}
+	if matchErr != nil {
+		s.failed.Add(1)
+		if n == 0 {
+			// Nothing on the wire yet: answer with a real HTTP status
+			// (writeError resets the Content-Type).
+			writeError(w, matchError(matchErr))
+			return
+		}
+		_ = enc.Encode(&StreamEvent{Error: matchError(matchErr).msg})
+		return
+	}
+	s.succeeded.Add(1)
+	_ = enc.Encode(&StreamEvent{Done: &StreamDone{
+		NumMatches: n,
+		Truncated:  st.Truncated,
+		Alpha:      p.alpha,
+		Strategy:   p.stratName,
+		Stats:      statsJSON(st),
+	}})
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -388,36 +521,75 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// matchParams is one parsed and validated match request, shared by the
+// buffered and streaming paths.
+type matchParams struct {
+	q         *query.Query
+	alpha     float64
+	strat     core.Strategy
+	stratName string
+	order     core.ResultOrder
+	orderName string
+	limit     int
+}
+
+// options maps the parsed request onto the core options for one evaluation.
+func (p *matchParams) options(matchWorkers int) core.Options {
+	return core.Options{
+		Alpha:    p.alpha,
+		Strategy: p.strat,
+		Workers:  matchWorkers,
+		Limit:    p.limit,
+		Order:    p.order,
+	}
+}
+
+// parseParams validates one request against the served index's alphabet.
+func (s *Server) parseParams(ix *pathindex.Index, req *MatchRequest) (*matchParams, error) {
+	p := &matchParams{alpha: req.Alpha, limit: req.Limit}
+	if p.alpha == 0 {
+		p.alpha = s.opt.DefaultAlpha
+	}
+	if p.alpha < 0 || p.alpha > 1 {
+		return nil, badRequest("alpha %v out of range (0,1]", p.alpha)
+	}
+	if p.limit < 0 {
+		return nil, badRequest("negative limit %d", p.limit)
+	}
+	var err error
+	if p.strat, p.stratName, err = ParseStrategy(req.Strategy); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if p.order, p.orderName, err = ParseOrder(req.Order); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if p.q, err = query.ParseString(req.Query, ix.Graph().Alphabet()); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if err := p.q.Validate(ix.Graph().Alphabet()); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return p, nil
+}
+
 // evaluate runs one match request end to end: canonicalize, consult the
 // cache, acquire a worker slot, run core.Match under the request deadline.
 func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchResponse, error) {
 	si, release := s.acquireIndex()
 	defer release()
 	ix, indexID := si.ix, si.id
-	alpha := req.Alpha
-	if alpha == 0 {
-		alpha = s.opt.DefaultAlpha
-	}
-	if alpha < 0 || alpha > 1 {
-		return nil, badRequest("alpha %v out of range (0,1]", alpha)
-	}
-	strat, stratName, err := ParseStrategy(req.Strategy)
+	p, err := s.parseParams(ix, req)
 	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	q, err := query.ParseString(req.Query, ix.Graph().Alphabet())
-	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	if err := q.Validate(ix.Graph().Alphabet()); err != nil {
-		return nil, badRequest("%v", err)
+		return nil, err
 	}
 
 	key := cacheKey{
 		indexID:  indexID,
-		query:    q.Format(ix.Graph().Alphabet()),
-		alpha:    math.Float64bits(alpha),
-		strategy: stratName,
+		query:    p.q.Format(ix.Graph().Alphabet()),
+		alpha:    math.Float64bits(p.alpha),
+		strategy: p.stratName,
+		order:    p.orderName,
+		limit:    p.limit,
 	}
 	if res, ok := s.cache.get(key); ok {
 		hit := *res
@@ -455,7 +627,7 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 				hit.Cached = true
 				res = &hit
 			} else {
-				res, err = s.compute(ctx, ix, q, key, alpha, strat, stratName)
+				res, err = s.compute(ctx, ix, p, key)
 			}
 			call.res, call.err = res, err
 			s.flight.forget(key)
@@ -480,55 +652,66 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 
 // compute runs one match evaluation under a worker-pool slot and caches the
 // response.
-func (s *Server) compute(ctx context.Context, ix *pathindex.Index, q *query.Query, key cacheKey, alpha float64, strat core.Strategy, stratName string) (*MatchResponse, error) {
+func (s *Server) compute(ctx context.Context, ix *pathindex.Index, p *matchParams, key cacheKey) (*MatchResponse, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer func() { <-s.sem }()
 
-	result, err := core.Match(ctx, ix, q, core.Options{
-		Alpha:    alpha,
-		Strategy: strat,
-		Workers:  s.opt.MatchWorkers,
-	})
+	result, err := core.Match(ctx, ix, p.q, p.options(s.opt.MatchWorkers))
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			return nil, &httpError{http.StatusGatewayTimeout, "match timed out"}
-		case errors.Is(err, context.Canceled):
-			return nil, &httpError{499, "client closed request"}
-		default:
-			// The request was already parsed and validated above, so an
-			// error out of the match pipeline is a server fault (e.g. index
-			// I/O), not a client one.
-			return nil, &httpError{http.StatusInternalServerError, err.Error()}
-		}
+		return nil, matchError(err)
 	}
 
 	res := &MatchResponse{
 		NumMatches: len(result.Matches),
 		Matches:    make([]MatchEntry, len(result.Matches)),
-		Alpha:      alpha,
-		Strategy:   stratName,
-		Stats: &MatchStats{
-			NumPaths:        result.Stats.NumPaths,
-			SSFinal:         result.Stats.SSFinal,
-			TotalMicros:     result.Stats.Total.Microseconds(),
-			DecomposeMicros: result.Stats.DecomposeTime.Microseconds(),
-			CandidateMicros: result.Stats.CandidateTime.Microseconds(),
-			ReduceMicros:    result.Stats.ReduceTime.Microseconds(),
-			JoinMicros:      result.Stats.JoinTime.Microseconds(),
-		},
+		Alpha:      p.alpha,
+		Strategy:   p.stratName,
+		Truncated:  result.Stats.Truncated,
+		Stats:      statsJSON(result.Stats),
 	}
 	for i, m := range result.Matches {
-		e := MatchEntry{Mapping: make([]uint32, len(m.Mapping)), Pr: m.Pr(), Prle: m.Prle, Prn: m.Prn}
-		for j, v := range m.Mapping {
-			e.Mapping[j] = uint32(v)
-		}
-		res.Matches[i] = e
+		res.Matches[i] = matchEntry(m)
 	}
 	s.cache.put(key, res)
 	return res, nil
+}
+
+// matchError maps an error out of the match pipeline to an HTTP status. The
+// request was already parsed and validated, so anything that is not the
+// request's own deadline or disconnect is a server fault (e.g. index I/O).
+func matchError(err error) *httpError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &httpError{http.StatusGatewayTimeout, "match timed out"}
+	case errors.Is(err, context.Canceled):
+		return &httpError{499, "client closed request"}
+	default:
+		return &httpError{http.StatusInternalServerError, err.Error()}
+	}
+}
+
+// matchEntry converts one core match into its JSON form.
+func matchEntry(m join.Match) MatchEntry {
+	e := MatchEntry{Mapping: make([]uint32, len(m.Mapping)), Pr: m.Pr(), Prle: m.Prle, Prn: m.Prn}
+	for j, v := range m.Mapping {
+		e.Mapping[j] = uint32(v)
+	}
+	return e
+}
+
+// statsJSON converts per-run statistics into their JSON form.
+func statsJSON(st core.Stats) *MatchStats {
+	return &MatchStats{
+		NumPaths:        st.NumPaths,
+		SSFinal:         st.SSFinal,
+		TotalMicros:     st.Total.Microseconds(),
+		DecomposeMicros: st.DecomposeTime.Microseconds(),
+		CandidateMicros: st.CandidateTime.Microseconds(),
+		ReduceMicros:    st.ReduceTime.Microseconds(),
+		JoinMicros:      st.JoinTime.Microseconds(),
+	}
 }
 
 // acquire takes a worker slot, waiting while the queue has room and the
@@ -591,4 +774,16 @@ func ParseStrategy(name string) (core.Strategy, string, error) {
 		return core.StrategyNoSSReduction, "no-ss-reduction", nil
 	}
 	return 0, "", fmt.Errorf("unknown strategy %q", name)
+}
+
+// ParseOrder maps a request order name to the core constant, returning the
+// normalized name. An empty name selects emission order.
+func ParseOrder(name string) (core.ResultOrder, string, error) {
+	switch name {
+	case "", "emit":
+		return core.OrderEmit, "emit", nil
+	case "prob":
+		return core.OrderByProb, "prob", nil
+	}
+	return 0, "", fmt.Errorf("unknown order %q (want \"emit\" or \"prob\")", name)
 }

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// streamEvents posts one request to /match/stream and decodes every NDJSON
+// line.
+func streamEvents(t *testing.T, url string, req MatchRequest) (*http.Response, []StreamEvent) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/match/stream", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []StreamEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp, events
+}
+
+// TestMatchStreamEndpoint: the NDJSON framing round-trips — N match lines,
+// then one done line whose count and payload agree with the buffered /match
+// answer for the same request.
+func TestMatchStreamEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	req := MatchRequest{Query: motivatingQueryDSL, Alpha: 0.01}
+
+	resp, events := streamEvents(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	last := events[len(events)-1]
+	if last.Done == nil {
+		t.Fatalf("last event is not done: %+v", last)
+	}
+	matches := events[:len(events)-1]
+	if last.Done.NumMatches != len(matches) {
+		t.Errorf("done.num_matches = %d, %d match lines", last.Done.NumMatches, len(matches))
+	}
+	if last.Done.Truncated {
+		t.Error("unlimited stream reported truncated")
+	}
+	if last.Done.Stats == nil {
+		t.Error("done line missing stats")
+	}
+
+	// The buffered endpoint must agree on the match set.
+	_, body := postJSON(t, ts.URL+"/match", req)
+	var buffered MatchResponse
+	if err := json.Unmarshal(body, &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if buffered.NumMatches != len(matches) {
+		t.Fatalf("stream %d matches, /match %d", len(matches), buffered.NumMatches)
+	}
+	streamed := map[string]float64{}
+	for _, ev := range matches {
+		if ev.Match == nil || ev.Error != "" {
+			t.Fatalf("non-match line before done: %+v", ev)
+		}
+		key, _ := json.Marshal(ev.Match.Mapping)
+		streamed[string(key)] = ev.Match.Pr
+	}
+	for _, m := range buffered.Matches {
+		key, _ := json.Marshal(m.Mapping)
+		pr, ok := streamed[string(key)]
+		if !ok {
+			t.Errorf("buffered match %v missing from stream", m.Mapping)
+			continue
+		}
+		if math.Abs(pr-m.Pr) > 1e-9 {
+			t.Errorf("match %v: stream Pr %v, buffered %v", m.Mapping, pr, m.Pr)
+		}
+	}
+}
+
+// TestMatchStreamTopK: limit+order=prob streams the most probable match
+// first and flags truncation.
+func TestMatchStreamTopK(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	// The full fixture answer at α=0.01 has 5 matches; ask for the top 2.
+	resp, events := streamEvents(t, ts.URL, MatchRequest{
+		Query: motivatingQueryDSL, Alpha: 0.01, Limit: 2, Order: "prob",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 2 matches + done", len(events))
+	}
+	done := events[2].Done
+	if done == nil || !done.Truncated || done.NumMatches != 2 {
+		t.Fatalf("done = %+v, want truncated top-2", events[2])
+	}
+	if events[0].Match.Pr < events[1].Match.Pr {
+		t.Errorf("top-K stream not probability-sorted: %v then %v", events[0].Match.Pr, events[1].Match.Pr)
+	}
+	// The strongest fixture match is the merged-entity path at 0.2025.
+	if math.Abs(events[0].Match.Pr-0.2025) > 1e-9 {
+		t.Errorf("top match Pr = %v, want 0.2025", events[0].Match.Pr)
+	}
+}
+
+// TestMatchStreamBadRequest: parse failures arrive as plain HTTP errors,
+// never as a 200 NDJSON stream.
+func TestMatchStreamBadRequest(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	cases := []MatchRequest{
+		{Query: motivatingQueryDSL, Alpha: 0.2, Order: "bogus"},
+		{Query: motivatingQueryDSL, Alpha: 0.2, Limit: -3},
+		{Query: "frobnicate\n", Alpha: 0.2},
+	}
+	for _, req := range cases {
+		resp, _ := streamEvents(t, ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400", req, resp.StatusCode)
+		}
+	}
+}
+
+// TestMatchLimitOrderCacheKey: /match responses are cached per limit/order
+// so a truncated answer can never be served to an unlimited request (or
+// vice versa).
+func TestMatchLimitOrderCacheKey(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	ask := func(limit int, order string) MatchResponse {
+		t.Helper()
+		_, body := postJSON(t, ts.URL+"/match", MatchRequest{
+			Query: motivatingQueryDSL, Alpha: 0.01, Limit: limit, Order: order,
+		})
+		var res MatchResponse
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("%s", body)
+		}
+		return res
+	}
+	full := ask(0, "")
+	if full.Cached || full.NumMatches != 5 {
+		t.Fatalf("cold full run: %+v", full)
+	}
+	top1 := ask(1, "prob")
+	if top1.Cached {
+		t.Error("limit=1 hit the unlimited cache entry")
+	}
+	if top1.NumMatches != 1 || !top1.Truncated {
+		t.Fatalf("top-1 response: %+v", top1)
+	}
+	if math.Abs(top1.Matches[0].Pr-0.2025) > 1e-9 {
+		t.Errorf("top-1 Pr = %v, want 0.2025", top1.Matches[0].Pr)
+	}
+	again := ask(1, "prob")
+	if !again.Cached {
+		t.Error("identical limited request missed the cache")
+	}
+	if ask(2, "prob").Cached {
+		t.Error("different limit hit the cache")
+	}
+	if ask(0, "").NumMatches != 5 {
+		t.Error("unlimited entry corrupted by limited runs")
+	}
+}

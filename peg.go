@@ -30,11 +30,24 @@
 //	...
 //	res, err := peg.Match(ctx, ix, q, peg.MatchOptions{Alpha: 0.25})
 //
+// # Streaming
+//
+// Match buffers the full result set. When the caller wants the first page —
+// or the top-K by probability — stream instead: matches flow out of the join
+// enumeration as they are found, and Limit or breaking the loop aborts the
+// remaining search immediately:
+//
+//	for m, err := range peg.MatchSeq(ctx, ix, q, peg.MatchOptions{Alpha: 0.25, Limit: 10}) {
+//		if err != nil { ... }
+//		use(m)
+//	}
+//
 // See examples/ for complete programs and DESIGN.md for the system map.
 package peg
 
 import (
 	"context"
+	"iter"
 
 	"repro/internal/core"
 	"repro/internal/entity"
@@ -93,24 +106,37 @@ type (
 	// MatchRecord is a full query match with its probability components
 	// (mapping ψ plus Prle and Prn).
 	MatchRecord = join.Match
-	// MatchOptions configures a match run.
+	// MatchOptions configures a match run (threshold, strategy, and the
+	// streaming knobs Limit and Order).
 	MatchOptions = core.Options
 	// MatchResult bundles matches with per-stage statistics.
 	MatchResult = core.Result
-	// MatchStats reports per-stage search-space and timing data.
+	// MatchStats reports per-stage search-space and timing data, including
+	// the Matched count and the Truncated flag of limited runs.
 	MatchStats = core.Stats
 	// Strategy selects the matching variant (optimized or a baseline).
 	Strategy = core.Strategy
+	// ResultOrder selects how streamed matches are ordered (OrderEmit or
+	// OrderByProb).
+	ResultOrder = core.ResultOrder
 
 	// Server is the concurrent HTTP/JSON query-serving front end.
 	Server = server.Server
 	// ServerOptions configures the server (worker pool, result cache,
 	// request timeout).
 	ServerOptions = server.Options
-	// MatchRequest is the JSON body of the server's /match endpoint.
+	// MatchRequest is the JSON body of the server's /match and
+	// /match/stream endpoints.
 	MatchRequest = server.MatchRequest
 	// MatchResponse is the JSON body answering a match request.
 	MatchResponse = server.MatchResponse
+	// StreamEvent is one NDJSON line of the server's /match/stream
+	// response: a match, the terminal done summary, or an error.
+	StreamEvent = server.StreamEvent
+	// StreamDone is the terminal summary line of a /match/stream response.
+	StreamDone = server.StreamDone
+	// ServedMatch is one probabilistic match in a server response.
+	ServedMatch = server.MatchEntry
 )
 
 // Identity semantics (see DESIGN.md "Semantics note").
@@ -127,6 +153,17 @@ const (
 	StrategyOptimized     = core.StrategyOptimized
 	StrategyRandomDecomp  = core.StrategyRandomDecomp
 	StrategyNoSSReduction = core.StrategyNoSSReduction
+)
+
+// Result orders for streamed matches.
+const (
+	// OrderEmit emits matches in the order the join enumeration discovers
+	// them — lowest latency to the first match; Limit stops the search
+	// early. Default.
+	OrderEmit = core.OrderEmit
+	// OrderByProb emits matches in decreasing probability; with Limit it is
+	// top-K retrieval backed by a bounded min-heap.
+	OrderByProb = core.OrderByProb
 )
 
 // NewAlphabet interns the given labels.
@@ -190,9 +227,36 @@ func ParseQuery(src string, a *Alphabet) (*Query, error) { return query.ParseStr
 
 // Match answers a probabilistic subgraph pattern matching query
 // (Definition 5): all matches M of q with Pr(M) ≥ opt.Alpha, with exact
-// probabilities and per-stage statistics.
+// probabilities and per-stage statistics. It buffers the whole result set;
+// use MatchStream or MatchSeq to consume matches as they are found.
 func Match(ctx context.Context, ix *Index, q *Query, opt MatchOptions) (*MatchResult, error) {
 	return core.Match(ctx, ix, q, opt)
+}
+
+// MatchStream answers the same query as Match but invokes yield once per
+// match as the join enumeration finds it, so the first result arrives
+// without waiting for — or allocating — the full match set. Returning false
+// from yield, reaching opt.Limit, or cancelling ctx stops the remaining
+// search immediately; the returned MatchStats carry the per-stage numbers
+// and the Truncated flag.
+func MatchStream(ctx context.Context, ix *Index, q *Query, opt MatchOptions, yield func(MatchRecord) bool) (MatchStats, error) {
+	return core.MatchStream(ctx, ix, q, opt, yield)
+}
+
+// MatchSeq is the iterator form of MatchStream, for direct use in a
+// range-over-func loop:
+//
+//	for m, err := range peg.MatchSeq(ctx, ix, q, opt) {
+//		if err != nil {
+//			return err
+//		}
+//		use(m)
+//	}
+//
+// Breaking out of the loop aborts the enumeration. A failed run yields one
+// final (zero MatchRecord, err) pair.
+func MatchSeq(ctx context.Context, ix *Index, q *Query, opt MatchOptions) iter.Seq2[MatchRecord, error] {
+	return core.MatchSeq(ctx, ix, q, opt)
 }
 
 // NewServer wraps an opened index in the concurrent HTTP/JSON query server;
