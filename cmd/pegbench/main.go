@@ -37,15 +37,17 @@ func main() {
 	log.SetPrefix("pegbench: ")
 	cfg := harness.DefaultConfig()
 	var (
-		only    = flag.String("only", "", "comma-separated figure list (default: all)")
-		sizes   = flag.String("sizes", "", "comma-separated graph sizes (refs)")
-		offline = flag.String("offline-sizes", "", "comma-separated offline grid sizes")
-		mainSz  = flag.Int("main", cfg.MainSize, "main graph size (the paper's 100k analog)")
-		qpp     = flag.Int("queries", cfg.QueriesPerPoint, "random queries averaged per point")
-		timeout = flag.Duration("timeout", cfg.QueryTimeout, "per-query timeout")
-		seed    = flag.Int64("seed", cfg.Seed, "random seed")
-		perf    = flag.Bool("perf", false, "run the stream-vs-collect API microbenchmarks instead of the figures")
-		perfOut = flag.String("perf-out", "", "perf JSON output path (default BENCH_<date>.json)")
+		only      = flag.String("only", "", "comma-separated figure list (default: all)")
+		sizes     = flag.String("sizes", "", "comma-separated graph sizes (refs)")
+		offline   = flag.String("offline-sizes", "", "comma-separated offline grid sizes")
+		mainSz    = flag.Int("main", cfg.MainSize, "main graph size (the paper's 100k analog)")
+		qpp       = flag.Int("queries", cfg.QueriesPerPoint, "random queries averaged per point")
+		timeout   = flag.Duration("timeout", cfg.QueryTimeout, "per-query timeout")
+		seed      = flag.Int64("seed", cfg.Seed, "random seed")
+		perf      = flag.Bool("perf", false, "run the stream-vs-collect API microbenchmarks instead of the figures")
+		perfOut   = flag.String("perf-out", "", "perf JSON output path (default BENCH_<date>.json)")
+		check     = flag.String("check", "", "baseline BENCH_*.json to compare -perf results against; exits non-zero on regression")
+		threshold = flag.Float64("check-threshold", 0.30, "allowed collect/stream ns/op regression vs the -check baseline")
 	)
 	flag.Parse()
 
@@ -60,12 +62,30 @@ func main() {
 	cfg.QueryTimeout = *timeout
 	cfg.Seed = *seed
 
+	var baseline *perfFile
+	if *check != "" {
+		b, err := loadBaseline(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline = b
+		// Measure at the baseline's workload size or the comparison is
+		// meaningless.
+		cfg.MainSize = baseline.MainSize
+	}
+
 	h, err := harness.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer h.Close()
 
+	if baseline != nil {
+		if err := runCheck(h, baseline, *threshold); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *perf {
 		out := *perfOut
 		if out == "" {
@@ -123,11 +143,92 @@ type perfBench struct {
 	MatchesPerSec float64 `json:"matches_per_sec"`
 }
 
+// loadBaseline reads a previously committed -perf record.
+func loadBaseline(path string) (*perfFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("check baseline: %w", err)
+	}
+	var rec perfFile
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("check baseline %s: %w", path, err)
+	}
+	if rec.MainSize <= 0 || len(rec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("check baseline %s: empty record", path)
+	}
+	return &rec, nil
+}
+
+// checkedBenchmarks are the serving-path rows the regression gate watches:
+// the bulk collect and stream shapes. The Limit1/topK rows are too noisy at
+// smoke scale (single-digit matches per op) to gate on.
+var checkedBenchmarks = map[string]bool{"match-collect": true, "match-stream": true}
+
+// runCheck re-measures the perf rows and fails when a gated row's ns/op
+// regressed more than threshold versus the baseline — the CI smoke gate for
+// the serving path.
+func runCheck(h *harness.Harness, baseline *perfFile, threshold float64) error {
+	rec, err := measurePerf(h)
+	if err != nil {
+		return err
+	}
+	base := make(map[string]perfBench, len(baseline.Benchmarks))
+	for _, row := range baseline.Benchmarks {
+		base[row.Name] = row
+	}
+	failed := 0
+	for _, row := range rec.Benchmarks {
+		b, ok := base[row.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := row.NsPerOp/b.NsPerOp - 1
+		verdict := "ok"
+		if checkedBenchmarks[row.Name] && ratio > threshold {
+			verdict = "REGRESSION"
+			failed++
+		} else if !checkedBenchmarks[row.Name] {
+			verdict = "info"
+		}
+		fmt.Printf("check %-22s %12.0f ns/op vs baseline %12.0f (%+6.1f%%) %s\n",
+			row.Name, row.NsPerOp, b.NsPerOp, 100*ratio, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline (%s, main=%d)",
+			failed, 100*threshold, baseline.Date, baseline.MainSize)
+	}
+	fmt.Printf("check passed vs baseline %s (threshold %.0f%%)\n", baseline.Date, 100*threshold)
+	return nil
+}
+
 // runPerf benchmarks the result-producing API shapes against each other on
 // the main synthetic workload — full collect, streamed consumption,
 // first-match (Limit 1), and top-K by probability — and writes the rows to
 // out as JSON.
 func runPerf(h *harness.Harness, out string) error {
+	rec, err := measurePerf(h)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// measurePerf runs the API-shape microbenchmarks and returns the record.
+func measurePerf(h *harness.Harness) (*perfFile, error) {
 	const (
 		alpha      = 0.1
 		queryNodes = 5
@@ -136,16 +237,16 @@ func runPerf(h *harness.Harness, out string) error {
 	cfg := h.Config()
 	g, err := h.Graph(cfg.MainSize, 0.2)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ix, err := h.Index(fmt.Sprintf("synth-%d-0.20", cfg.MainSize), g, 3, 0.1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ctx := context.Background()
 	q, richness := harness.FindRichQuery(ix, queryNodes, queryEdges, alpha, cfg.Seed, 30)
 	if richness == 0 {
-		return fmt.Errorf("perf: no viable query found")
+		return nil, fmt.Errorf("perf: no viable query found")
 	}
 
 	variants := []struct {
@@ -190,7 +291,7 @@ func runPerf(h *harness.Harness, out string) error {
 	for _, v := range variants {
 		matches, err := v.run()
 		if err != nil {
-			return fmt.Errorf("%s: %w", v.name, err)
+			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
 		var benchErr error
 		r := testing.Benchmark(func(b *testing.B) {
@@ -203,7 +304,7 @@ func runPerf(h *harness.Harness, out string) error {
 			}
 		})
 		if benchErr != nil {
-			return fmt.Errorf("%s: %w", v.name, benchErr)
+			return nil, fmt.Errorf("%s: %w", v.name, benchErr)
 		}
 		ns := float64(r.NsPerOp())
 		row := perfBench{
@@ -220,22 +321,7 @@ func runPerf(h *harness.Harness, out string) error {
 		fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %6d matches %12.0f matches/s\n",
 			v.name, row.NsPerOp, row.AllocsPerOp, row.MatchesPerOp, row.MatchesPerSec)
 	}
-
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&rec); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", out)
-	return nil
+	return &rec, nil
 }
 
 func parseInts(s string) []int {

@@ -5,11 +5,20 @@
 // top-K retrieval; /match/stream emits NDJSON match lines incrementally as
 // the join enumeration finds them.
 //
+// With -live the server runs read-write: -dir holds a live database
+// (generation directories plus a CRC-protected mutation log) and POST
+// /ingest accepts add-ref / add-edge / set-linkage mutations — single JSON
+// objects or NDJSON batches — which become visible to queries immediately
+// through the delta overlay and are folded into a fresh on-disk generation
+// by the background compactor.
+//
 // Usage:
 //
 //	pegserve -pgd graph.pgd -dir ./index -addr :8080
+//	pegserve -live -pgd graph.pgd -dir ./livedb -addr :8080
 //	curl -s localhost:8080/match -d '{"query":"node A r\nnode B a\nedge A B","alpha":0.2,"limit":10,"order":"prob"}'
 //	curl -sN localhost:8080/match/stream -d '{"query":"node A r\nnode B a\nedge A B","alpha":0.2}'
+//	curl -s localhost:8080/ingest -d '{"op":"set-linkage","members":[2,3],"p":0.5}'
 //	curl -s localhost:8080/stats
 package main
 
@@ -18,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
@@ -32,8 +42,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pegserve: ")
 	var (
-		pgdPath = flag.String("pgd", "", "input PGD file (required)")
-		dir     = flag.String("dir", "", "index directory (required)")
+		pgdPath = flag.String("pgd", "", "input PGD file (required unless -live resumes an existing database)")
+		dir     = flag.String("dir", "", "index directory — or live database directory with -live (required)")
 		addr    = flag.String("addr", ":8080", "listen address")
 		workers = flag.Int("workers", 0, "concurrent match evaluations (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "request queue depth before 503 (0 = 4×workers)")
@@ -44,52 +54,83 @@ func main() {
 		maxLen  = flag.Int("L", 3, "index path length when building")
 		beta    = flag.Float64("beta", 0.1, "index construction threshold β when building")
 		gamma   = flag.Float64("gamma", 0.1, "index resolution γ when building")
+
+		liveMode     = flag.Bool("live", false, "serve read-write: enable POST /ingest backed by a live database in -dir")
+		compactEvery = flag.Int("compact-every", 512, "live: background-compact after this many mutations (negative disables)")
+		compactDirty = flag.Float64("compact-dirty", 0.25, "live: background-compact once this fraction of entities is dirty (negative disables)")
 	)
 	flag.Parse()
-	if *pgdPath == "" || *dir == "" {
+	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-
-	f, err := os.Open(*pgdPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	d, err := peg.LoadPGD(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := peg.BuildGraph(d)
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ix, err := peg.OpenIndex(*dir, g)
-	if err != nil && *build {
-		log.Printf("no index in %s, building (L=%d β=%v γ=%v)", *dir, *maxLen, *beta, *gamma)
-		ix, err = peg.BuildIndex(ctx, g, peg.IndexOptions{
-			MaxLen: *maxLen, Beta: *beta, Gamma: *gamma, Dir: *dir,
-		})
+	var (
+		srv *peg.Server
+		db  *peg.LiveDB
+	)
+	if *liveMode {
+		liveOpt := peg.LiveOptions{
+			Index:            peg.IndexOptions{MaxLen: *maxLen, Beta: *beta, Gamma: *gamma},
+			CompactEvery:     *compactEvery,
+			CompactDirtyFrac: *compactDirty,
+			Logf:             log.Printf,
+		}
+		var err error
+		db, err = peg.OpenLive(*dir, liveOpt)
+		if err != nil {
+			// Only "no database here yet" falls through to Create; a
+			// corrupt or unloadable existing database must surface its own
+			// diagnostic, not a misleading "already holds a database".
+			if !errors.Is(err, fs.ErrNotExist) {
+				log.Fatal(err)
+			}
+			if *pgdPath == "" {
+				log.Fatalf("%v (and no -pgd to create one)", err)
+			}
+			d := loadPGD(*pgdPath)
+			log.Printf("creating live database in %s (L=%d β=%v γ=%v)", *dir, *maxLen, *beta, *gamma)
+			db, err = peg.CreateLive(ctx, *dir, d, liveOpt)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := db.Status()
+		log.Printf("live database: generation %d, %d entities, %d pending mutations",
+			st.Generation, st.Entities, st.Mutations)
+		srv = peg.NewServer(db.View(), serverOptions(*workers, *queue, *cache, *timeout, *alpha))
+		srv.SetLive(db)
+		db.SetPublisher(srv)
+	} else {
+		if *pgdPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		d := loadPGD(*pgdPath)
+		g, err := peg.BuildGraph(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err := peg.OpenIndex(*dir, g)
+		if err != nil && *build {
+			log.Printf("no index in %s, building (L=%d β=%v γ=%v)", *dir, *maxLen, *beta, *gamma)
+			ix, err = peg.BuildIndex(ctx, g, peg.IndexOptions{
+				MaxLen: *maxLen, Beta: *beta, Gamma: *gamma, Dir: *dir,
+			})
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ix.Close()
+		st := ix.Stats()
+		log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
+			st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
+		srv = peg.NewServer(ix, serverOptions(*workers, *queue, *cache, *timeout, *alpha))
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ix.Close()
-	st := ix.Stats()
-	log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
-		st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
 
-	srv := peg.NewServer(ix, peg.ServerOptions{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cache,
-		RequestTimeout: *timeout,
-		DefaultAlpha:   *alpha,
-	})
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -108,18 +149,51 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down")
-		// Give in-flight requests their full budget plus the write window:
-		// the index is closed right after this returns, and a request still
-		// running must not see closed files.
+		// Graceful shutdown on SIGINT/SIGTERM: Shutdown stops admitting
+		// requests and drains the worker pool and in-flight NDJSON streams
+		// (match and ingest alike) within the grace window; only then is the
+		// live database closed, which flushes the mutation log and waits for
+		// a running background compaction, so every acknowledged write is on
+		// disk before exit.
+		log.Print("shutting down: draining in-flight requests")
 		shCtx, cancel := context.WithTimeout(context.Background(), *timeout+35*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+		if db != nil {
+			if err := db.Close(); err != nil {
+				log.Printf("closing live database: %v", err)
+			} else {
+				log.Print("mutation log flushed")
+			}
+		}
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(fmt.Errorf("serve: %w", err))
 		}
+	}
+}
+
+func loadPGD(path string) *peg.PGD {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	d, err := peg.LoadPGD(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
+}
+
+func serverOptions(workers, queue, cache int, timeout time.Duration, alpha float64) peg.ServerOptions {
+	return peg.ServerOptions{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheEntries:   cache,
+		RequestTimeout: timeout,
+		DefaultAlpha:   alpha,
 	}
 }

@@ -122,7 +122,7 @@ func (nc *NodeChecker) check(v entity.ID, n query.NodeID) bool {
 }
 
 // Find runs the candidate generation stage for every decomposition path.
-func Find(ctx context.Context, ix *pathindex.Index, q *query.Query, dec *decompose.Decomposition, alpha float64, workers int) ([]Set, Stats, error) {
+func Find(ctx context.Context, ix pathindex.Reader, q *query.Query, dec *decompose.Decomposition, alpha float64, workers int) ([]Set, Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -141,7 +141,7 @@ type Result struct {
 // adapter over MatchStream; with Order == OrderEmit the collected matches
 // are sorted by mapping (then probability) for deterministic output, with
 // OrderByProb the probability-descending stream order is preserved.
-func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options) (*Result, error) {
+func Match(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options) (*Result, error) {
 	var ms []join.Match
 	st, err := MatchStream(ctx, ix, q, opt, func(m join.Match) bool {
 		ms = append(ms, m)
@@ -164,7 +164,7 @@ func Match(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options
 // (not an error). The returned Stats cover whatever part of the run
 // happened; on error the partial results already yielded should be
 // discarded.
-func MatchStream(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options, yield func(join.Match) bool) (Stats, error) {
+func MatchStream(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options, yield func(join.Match) bool) (Stats, error) {
 	start := time.Now()
 	var st Stats
 	if opt.Alpha <= 0 || opt.Alpha > 1 {
@@ -314,7 +314,7 @@ type ReductionStats struct {
 
 // ProbeReduction runs the pipeline up to and including the joint reduction
 // and reports the per-method search-space sizes.
-func ProbeReduction(ctx context.Context, ix *pathindex.Index, q *query.Query, alpha float64, workers int) (ReductionStats, error) {
+func ProbeReduction(ctx context.Context, ix pathindex.Reader, q *query.Query, alpha float64, workers int) (ReductionStats, error) {
 	g := ix.Graph()
 	dec, err := decompose.Decompose(q, ix, decompose.Options{
 		MaxLen: ix.MaxLen(), Alpha: alpha, Mode: decompose.ModeOptimized,
@@ -350,7 +350,7 @@ func ProbeReduction(ctx context.Context, ix *pathindex.Index, q *query.Query, al
 //		if err != nil { ... }
 //		use(m)
 //	}
-func MatchSeq(ctx context.Context, ix *pathindex.Index, q *query.Query, opt Options) iter.Seq2[join.Match, error] {
+func MatchSeq(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options) iter.Seq2[join.Match, error] {
 	return func(yield func(join.Match, error) bool) {
 		stopped := false
 		_, err := MatchStream(ctx, ix, q, opt, func(m join.Match) bool {

@@ -85,6 +85,7 @@ type Neighbor struct {
 type Node struct {
 	Refs    []refgraph.RefID // sorted member references
 	Label   prob.Dist        // merged label distribution (node label factor)
+	Set     refgraph.SetID   // originating PGD set id; -1 for singletons
 	Comp    int32            // identity component index
 	CompPos uint8            // bit position within the component
 	Exist   float64          // marginal existence probability Pr(v.n = T)
@@ -138,6 +139,7 @@ func Build(d *refgraph.PGD, opt BuildOptions) (*Graph, error) {
 		g.nodes = append(g.nodes, Node{
 			Refs:  []refgraph.RefID{refgraph.RefID(r)},
 			Label: d.RefLabel(refgraph.RefID(r)),
+			Set:   -1,
 		})
 		refToEnts[r] = append(refToEnts[r], ID(r))
 	}
@@ -151,6 +153,7 @@ func Build(d *refgraph.PGD, opt BuildOptions) (*Graph, error) {
 		g.nodes = append(g.nodes, Node{
 			Refs:  s.Members,
 			Label: merge.Labels(dists),
+			Set:   refgraph.SetID(i),
 		})
 		for _, m := range s.Members {
 			refToEnts[m] = append(refToEnts[m], id)
@@ -421,12 +424,12 @@ func (g *Graph) enumerateComponent(d *refgraph.PGD, members []ID, opt BuildOptio
 	return cfgs, nil
 }
 
-// setProb finds the PGD merge probability of the non-singleton entity m by
-// matching its member list. Entities were created in set order, so the
-// offset arithmetic is exact.
+// setProb returns the PGD merge probability of the non-singleton entity m
+// via the set id recorded at node creation (stable under incremental
+// maintenance, where entity ids no longer follow the singletons-then-sets
+// layout of Build).
 func (g *Graph) setProb(d *refgraph.PGD, m ID) float64 {
-	setIdx := int(m) - d.NumRefs()
-	return d.Set(refgraph.SetID(setIdx)).P
+	return d.Set(g.nodes[m].Set).P
 }
 
 func exactlyOne(vals []int) float64 {

@@ -1,0 +1,103 @@
+package live
+
+import (
+	"repro/internal/entity"
+	"repro/internal/pathindex"
+	"repro/internal/prob"
+)
+
+// View is one immutable snapshot of the live database: the on-disk base
+// index of the current generation merged with the in-memory delta overlay
+// that carries everything mutated since that generation was built. It
+// implements pathindex.Reader, so the whole online phase (core.MatchStream,
+// candidate pruning, the server) runs against it unchanged. A query holds
+// one View for its whole run and is never affected by concurrent mutations;
+// each mutation batch publishes a fresh View.
+type View struct {
+	base  *pathindex.Index
+	g     *entity.Graph      // current entity graph (base graph + delta)
+	ctx   *pathindex.Context // context tables valid for g
+	ov    *overlay           // nil when no mutations since the base build
+	dirty []bool             // by entity id; nil when clean
+	gen   uint64             // base generation number
+	muts  uint64             // mutations folded in since the base build
+}
+
+var _ pathindex.Reader = (*View)(nil)
+
+// Lookup merges PIndex(X, α) from both layers: base entries that avoid
+// every dirty entity are still exact, and the overlay contributes exactly
+// the dirty-touching paths of the current graph — together they equal a
+// from-scratch index over the mutated graph.
+func (v *View) Lookup(X []prob.LabelID, alpha float64) ([]pathindex.PathMatch, error) {
+	bm, err := v.base.Lookup(X, alpha)
+	if err != nil || v.ov == nil {
+		return bm, err
+	}
+	out := bm[:0]
+	for _, m := range bm {
+		clean := true
+		for _, n := range m.Nodes {
+			if v.dirty[n] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			out = append(out, m)
+		}
+	}
+	return append(out, v.ov.lookup(X, alpha)...), nil
+}
+
+// Cardinality estimates |PIndex(X, α)| as the base histogram estimate plus
+// the overlay's exact count. Base entries invalidated by mutations are still
+// counted — cardinalities only steer decomposition cost, never correctness.
+func (v *View) Cardinality(X []prob.LabelID, alpha float64) float64 {
+	c := v.base.Cardinality(X, alpha)
+	if v.ov != nil {
+		c += v.ov.cardinality(X, alpha)
+	}
+	return c
+}
+
+// Context returns context tables valid for Graph(): the base tables patched
+// for every entity whose adjacency changed.
+func (v *View) Context() *pathindex.Context { return v.ctx }
+
+// Graph returns the current entity graph.
+func (v *View) Graph() *entity.Graph { return v.g }
+
+// MaxLen returns the base index's maximum path length L.
+func (v *View) MaxLen() int { return v.base.MaxLen() }
+
+// Beta returns the base index's construction threshold β.
+func (v *View) Beta() float64 { return v.base.Beta() }
+
+// Stats returns the base build statistics with the overlay's entry count
+// folded into Entries.
+func (v *View) Stats() pathindex.BuildStats {
+	st := v.base.Stats()
+	if v.ov != nil {
+		st.Entries += v.ov.count
+	}
+	return st
+}
+
+// Generation returns the base generation number of this view.
+func (v *View) Generation() uint64 { return v.gen }
+
+// Mutations returns how many mutations the overlay carries on top of the
+// base generation.
+func (v *View) Mutations() uint64 { return v.muts }
+
+// DirtyEntities returns how many entities the overlay tracks as dirty.
+func (v *View) DirtyEntities() int {
+	n := 0
+	for _, d := range v.dirty {
+		if d {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The write-ahead log is an append-only record log with the same framing
+// idiom as storage/hashdict: a 4-byte magic, then per record
+// crc32(payload) ‖ len(payload) ‖ payload. One record carries one whole
+// mutation batch (a count followed by length-prefixed mutations), so the
+// unit of durability equals the unit of acknowledgment: replay loads
+// records until EOF or the first corrupt record and truncates the torn
+// tail, and a crash mid-append can never resurrect a prefix of an
+// unacknowledged batch.
+const (
+	walMagic     = "PEGW"
+	walRecHeader = 4 + 4
+	// walMaxPayload bounds one batch record; generous because a record now
+	// carries a whole ingest batch (up to thousands of mutations).
+	walMaxPayload = 1 << 26
+)
+
+type wal struct {
+	f    *os.File
+	path string
+	// size is the known-good end of the log: everything below it is
+	// acknowledged, everything above is garbage from a failed append. A
+	// failed append truncates back to it so torn bytes can never sit in
+	// front of (and at recovery swallow) later acknowledged records.
+	size int64
+	// broken is set when even the rollback truncate failed; the log can no
+	// longer guarantee its invariant and refuses further appends.
+	broken bool
+}
+
+// createWAL creates a fresh, empty log (truncating any previous file).
+func createWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("live: wal: %w", err)
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("live: wal: %w", err)
+	}
+	return &wal{f: f, path: path, size: int64(len(walMagic))}, nil
+}
+
+// openWAL opens an existing log, replaying its mutations and truncating any
+// corrupt tail. The file position is left at the end for appending.
+func openWAL(path string) (*wal, []Mutation, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("live: wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("live: wal: %w", err)
+	}
+	size := st.Size()
+	hdr := make([]byte, len(walMagic))
+	if _, err := f.ReadAt(hdr, 0); err != nil || string(hdr) != walMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("live: wal: bad magic %q", hdr)
+	}
+	var (
+		muts []Mutation
+		off  = int64(len(walMagic))
+		rec  [walRecHeader]byte
+	)
+	for off < size {
+		if _, err := f.ReadAt(rec[:], off); err != nil {
+			break
+		}
+		want := binary.LittleEndian.Uint32(rec[0:])
+		plen := binary.LittleEndian.Uint32(rec[4:])
+		if plen == 0 || plen > walMaxPayload || off+walRecHeader+int64(plen) > size {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := f.ReadAt(payload, off+walRecHeader); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			break
+		}
+		muts = append(muts, batch...)
+		off += walRecHeader + int64(plen)
+	}
+	if off < size {
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("live: wal: truncate corrupt tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("live: wal: %w", err)
+	}
+	return &wal{f: f, path: path, size: off}, muts, nil
+}
+
+// encodeBatch serializes a mutation batch as one WAL record payload:
+// count ‖ (len ‖ mutation)×count.
+func encodeBatch(ms []Mutation) ([]byte, error) {
+	var buf []byte
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(ms)))
+	buf = append(buf, n[:]...)
+	for i := range ms {
+		payload, err := ms[i].encode()
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(n[:], uint32(len(payload)))
+		buf = append(buf, n[:]...)
+		buf = append(buf, payload...)
+	}
+	if len(buf) > walMaxPayload {
+		return nil, fmt.Errorf("live: wal batch of %d bytes too large", len(buf))
+	}
+	return buf, nil
+}
+
+// decodeBatch parses one WAL record payload back into its mutation batch.
+func decodeBatch(payload []byte) ([]Mutation, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("live: wal batch too short")
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	payload = payload[4:]
+	ms := make([]Mutation, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("live: wal batch truncated at mutation %d", i)
+		}
+		mlen := binary.LittleEndian.Uint32(payload)
+		payload = payload[4:]
+		if uint32(len(payload)) < mlen {
+			return nil, fmt.Errorf("live: wal batch truncated at mutation %d", i)
+		}
+		m, err := decodeMutation(payload[:mlen])
+		if err != nil {
+			return nil, err
+		}
+		ms = append(ms, m)
+		payload = payload[mlen:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("live: wal batch has %d trailing bytes", len(payload))
+	}
+	return ms, nil
+}
+
+// append writes one mutation batch as a single fsynced record, so a batch
+// is durable exactly when it is acknowledged — all of it or none of it. On
+// any failure the log is rolled back to its last known-good end: a partial
+// record must not linger (recovery would truncate at it, swallowing later
+// acknowledged batches), and a fully written but unacknowledged record must
+// not replay (the client was told the batch failed).
+func (w *wal) append(ms []Mutation) error {
+	if w.broken {
+		return fmt.Errorf("live: wal unusable after failed rollback")
+	}
+	payload, err := encodeBatch(ms)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, walRecHeader+len(payload))
+	var hdr [walRecHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	fail := func(op string, err error) error {
+		if w.f.Truncate(w.size) != nil {
+			w.broken = true
+		} else if _, serr := w.f.Seek(w.size, 0); serr != nil {
+			w.broken = true
+		}
+		return fmt.Errorf("live: wal %s: %w", op, err)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fail("append", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	w.size += int64(len(buf))
+	return nil
+}
+
+// writeWAL creates a log at path pre-populated with the given mutations
+// (used by compaction to rotate the tail of the old log into the new
+// generation's log).
+func writeWAL(path string, ms []Mutation) (*wal, error) {
+	w, err := createWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) > 0 {
+		if err := w.append(ms); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Close syncs and closes the log.
+func (w *wal) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -103,6 +103,33 @@ func maxEdgeProbGivenNeighbor(g *entity.Graph, v entity.ID, nb entity.Neighbor, 
 	return m
 }
 
+// Patch returns a copy of c resized for g with the rows of the given nodes
+// recomputed against g; all other rows are carried over unchanged. A context
+// row depends only on the node's own adjacency (edge distributions and
+// neighbor label distributions), so after an incremental graph update it is
+// exact to patch just the nodes whose adjacency changed plus the appended
+// ones. The receiver is not modified.
+func (c *Context) Patch(g *entity.Graph, nodes []entity.ID) *Context {
+	n := g.NumNodes()
+	nc := &Context{
+		nLabels: c.nLabels,
+		card:    make([]int32, n*c.nLabels),
+		ppu:     make([]float64, n*c.nLabels),
+		fpu:     make([]float64, n*c.nLabels),
+	}
+	copy(nc.card, c.card)
+	copy(nc.ppu, c.ppu)
+	copy(nc.fpu, c.fpu)
+	for _, v := range nodes {
+		base := int(v) * c.nLabels
+		for i := base; i < base+c.nLabels; i++ {
+			nc.card[i], nc.ppu[i], nc.fpu[i] = 0, 0, 0
+		}
+		nc.computeNode(g, v)
+	}
+	return nc
+}
+
 // Card returns c(v,σ).
 func (c *Context) Card(v entity.ID, sigma prob.LabelID) int {
 	return int(c.card[int(v)*c.nLabels+int(sigma)])

@@ -266,6 +266,9 @@ func (ix *Index) Graph() *entity.Graph { return ix.g }
 // Beta returns the construction threshold β.
 func (ix *Index) Beta() float64 { return ix.opt.Beta }
 
+// Gamma returns the probability bucket resolution γ.
+func (ix *Index) Gamma() float64 { return ix.opt.Gamma }
+
 // MaxLen returns the maximum indexed path length L.
 func (ix *Index) MaxLen() int { return ix.opt.MaxLen }
 

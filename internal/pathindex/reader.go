@@ -1,0 +1,32 @@
+package pathindex
+
+import (
+	"repro/internal/entity"
+	"repro/internal/prob"
+)
+
+// Reader is the query-time surface of a path index: everything the online
+// phase (decomposition, candidate generation, the server) needs from the
+// offline artifact. *Index implements it directly; internal/live implements
+// it as an immutable base index merged with an in-memory delta overlay, so
+// core.MatchStream sees one logical index either way.
+type Reader interface {
+	// Lookup returns PIndex(X, α): all paths whose label assignment is X
+	// with probability ≥ α, oriented along X.
+	Lookup(X []prob.LabelID, alpha float64) ([]PathMatch, error)
+	// Cardinality estimates |PIndex(X, α)| for query decomposition.
+	Cardinality(X []prob.LabelID, alpha float64) float64
+	// Context returns the per-node context information tables, valid for
+	// Graph().
+	Context() *Context
+	// Graph returns the entity graph the reader answers over.
+	Graph() *entity.Graph
+	// MaxLen returns the maximum indexed path length L.
+	MaxLen() int
+	// Beta returns the construction threshold β.
+	Beta() float64
+	// Stats returns build/size statistics.
+	Stats() BuildStats
+}
+
+var _ Reader = (*Index)(nil)

@@ -89,7 +89,8 @@ func DefaultMerge() MergeFuncs {
 	return MergeFuncs{Labels: AverageLabels, Edges: AverageEdges}
 }
 
-// NamedEdgeMerge resolves a merge function by name, for CLI use.
+// NamedEdgeMerge resolves a merge function by name, for CLI use and for the
+// PGD snapshot header. The empty name means the default (average).
 func NamedEdgeMerge(name string) (EdgeMerge, error) {
 	switch name {
 	case "average", "avg", "":
@@ -101,3 +102,18 @@ func NamedEdgeMerge(name string) (EdgeMerge, error) {
 	}
 	return nil, fmt.Errorf("prob: unknown edge merge %q (want average, disjunct, or max)", name)
 }
+
+// NamedLabelMerge resolves a label merge function by name, for the PGD
+// snapshot header. The empty name means the default (average).
+func NamedLabelMerge(name string) (LabelMerge, error) {
+	switch name {
+	case "average", "avg", "":
+		return AverageLabels, nil
+	}
+	return nil, fmt.Errorf("prob: unknown label merge %q (want average)", name)
+}
+
+// MergeCustom is the merge-function identifier recorded for merge functions
+// installed as raw function values (PGD.SetMerge), which cannot be
+// serialized. Snapshots recording it fail to load — see refgraph.Load.
+const MergeCustom = "custom"

@@ -1,0 +1,77 @@
+package refgraph
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/prob"
+)
+
+// seedSnapshot serializes a small but fully featured PGD (CPT edge, set,
+// singleton prior, named merge) as fuzz corpus.
+func seedSnapshot(t *testing.T, edges string) []byte {
+	t.Helper()
+	a := prob.MustAlphabet("x", "y")
+	g := New(a)
+	r1 := g.AddReference(prob.MustDist(prob.LabelProb{Label: 0, P: 0.5}, prob.LabelProb{Label: 1, P: 0.5}))
+	r2 := g.AddReference(prob.Point(1))
+	r3 := g.AddReference(prob.Point(0))
+	if err := g.AddEdge(r1, r2, EdgeDist{P: 0.5, CPT: []float64{0.1, 0.2, 0.2, 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(r2, r3, EdgeDist{P: 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddReferenceSet([]RefID{r1, r3}, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetSingletonPrior(r2, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetNamedMerge("average", edges); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadPGD feeds arbitrary bytes to the snapshot loader: it must never
+// panic, and everything it accepts must round-trip — Save of the loaded PGD
+// must load again to an equivalent snapshot (same bytes on the second
+// Save, since Load canonicalizes).
+func FuzzLoadPGD(f *testing.F) {
+	f.Add([]byte("PGD1"))
+	f.Add([]byte{})
+	seedT := &testing.T{}
+	f.Add(seedSnapshot(seedT, "average"))
+	f.Add(seedSnapshot(seedT, "disjunct"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("Save of loaded PGD failed: %v", err)
+		}
+		g2, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip Load failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := g2.Save(&buf2); err != nil {
+			t.Fatalf("second Save failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("snapshot not a fixed point: %d vs %d bytes", buf.Len(), buf2.Len())
+		}
+		if g.NumRefs() != g2.NumRefs() || g.NumEdges() != g2.NumEdges() || g.NumSets() != g2.NumSets() {
+			t.Fatalf("round-trip changed shape: %d/%d/%d vs %d/%d/%d",
+				g.NumRefs(), g.NumEdges(), g.NumSets(), g2.NumRefs(), g2.NumEdges(), g2.NumSets())
+		}
+	})
+}

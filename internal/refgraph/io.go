@@ -6,15 +6,18 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"repro/internal/prob"
 )
 
 // Binary snapshot format. A PGD file is the offline phase's input artifact
-// (cmd/peggen writes one, cmd/pegbuild reads it).
+// (cmd/peggen writes one, cmd/pegbuild reads it). Version 2 added the merge
+// function identifiers to the header; version 1 files (which never recorded
+// them) still load with the defaults.
 const (
 	magic   = "PGD1"
-	version = 1
+	version = 2
 )
 
 type binWriter struct {
@@ -98,12 +101,16 @@ func (b *binReader) str() string {
 }
 
 // Save writes the PGD as a versioned binary snapshot. The merge functions
-// are not serialized (they are code); Load restores the defaults and callers
-// may override with SetMerge.
+// are code and cannot be serialized; instead the header records their
+// registry identifiers (see SetNamedMerge) so Load can re-resolve them —
+// or fail loudly instead of silently restoring defaults when the PGD
+// carried unregistered custom functions.
 func (g *PGD) Save(w io.Writer) error {
 	bw := &binWriter{w: bufio.NewWriter(w)}
 	bw.str(magic)
 	bw.u8(version)
+	bw.str(g.mergeLabelName)
+	bw.str(g.mergeEdgeName)
 
 	names := g.alphabet.Names()
 	bw.u32(uint32(len(names)))
@@ -121,8 +128,21 @@ func (g *PGD) Save(w io.Writer) error {
 		}
 	}
 
-	bw.u32(uint32(len(g.edges)))
-	g.Edges(func(k EdgeKey, e EdgeDist) bool {
+	// Edge and prior maps are written in sorted key order so snapshots are
+	// deterministic (equal PGDs produce equal bytes).
+	keys := make([]EdgeKey, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	bw.u32(uint32(len(keys)))
+	for _, k := range keys {
+		e := g.edges[k]
 		bw.u32(uint32(k.A))
 		bw.u32(uint32(k.B))
 		bw.f64(e.P)
@@ -134,8 +154,7 @@ func (g *PGD) Save(w io.Writer) error {
 		} else {
 			bw.u8(0)
 		}
-		return true
-	})
+	}
 
 	bw.u32(uint32(len(g.sets)))
 	for _, s := range g.sets {
@@ -146,10 +165,15 @@ func (g *PGD) Save(w io.Writer) error {
 		bw.f64(s.P)
 	}
 
-	bw.u32(uint32(len(g.singletonPrior)))
-	for r, p := range g.singletonPrior {
+	refs := make([]RefID, 0, len(g.singletonPrior))
+	for r := range g.singletonPrior {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	bw.u32(uint32(len(refs)))
+	for _, r := range refs {
 		bw.u32(uint32(r))
-		bw.f64(p)
+		bw.f64(g.singletonPrior[r])
 	}
 
 	if bw.err != nil {
@@ -158,14 +182,31 @@ func (g *PGD) Save(w io.Writer) error {
 	return bw.w.Flush()
 }
 
-// Load reads a PGD binary snapshot written by Save.
+// Load reads a PGD binary snapshot written by Save. Version 2 snapshots
+// record the merge-function identifiers; Load re-installs the named
+// functions and fails loudly when a snapshot was saved from a PGD carrying
+// unregistered custom merge functions (identifier prob.MergeCustom), since
+// restoring the defaults would silently change every merged probability.
+// Version 1 snapshots predate the header field and load with the defaults.
 func Load(r io.Reader) (*PGD, error) {
 	br := &binReader{r: bufio.NewReader(r)}
 	if m := br.str(); br.err == nil && m != magic {
 		return nil, fmt.Errorf("refgraph: bad magic %q", m)
 	}
-	if v := br.u8(); br.err == nil && v != version {
+	v := br.u8()
+	if br.err == nil && v != 1 && v != version {
 		return nil, fmt.Errorf("refgraph: unsupported version %d", v)
+	}
+	mergeLabels, mergeEdges := "average", "average"
+	if v == version {
+		mergeLabels = br.str()
+		mergeEdges = br.str()
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("refgraph: load header: %w", br.err)
+	}
+	if mergeLabels == prob.MergeCustom || mergeEdges == prob.MergeCustom {
+		return nil, fmt.Errorf("refgraph: snapshot was saved with unregistered custom merge functions; rebuild it with SetNamedMerge so the snapshot is self-describing")
 	}
 
 	nLabels := br.u32()
@@ -184,6 +225,9 @@ func Load(r io.Reader) (*PGD, error) {
 		return nil, fmt.Errorf("refgraph: load alphabet: %w", err)
 	}
 	g := New(alpha)
+	if err := g.SetNamedMerge(mergeLabels, mergeEdges); err != nil {
+		return nil, fmt.Errorf("refgraph: load merge functions: %w", err)
+	}
 
 	nRefs := br.u32()
 	for i := uint32(0); i < nRefs && br.err == nil; i++ {

@@ -113,7 +113,15 @@ type PGD struct {
 	// the literal Definition 2 factor semantics; unset references default
 	// to prior 1.
 	singletonPrior map[RefID]float64
-	merge          prob.MergeFuncs
+	// setByKey indexes sets by canonical member list for O(1) FindSet —
+	// the hot lookup of every streamed set-linkage mutation.
+	setByKey map[string]SetID
+	merge    prob.MergeFuncs
+	// mergeLabelName / mergeEdgeName identify the installed merge functions
+	// for the snapshot header; prob.MergeCustom marks unserializable raw
+	// function values installed via SetMerge.
+	mergeLabelName string
+	mergeEdgeName  string
 }
 
 // New creates an empty PGD over the given alphabet with the paper's default
@@ -123,25 +131,87 @@ func New(a *prob.Alphabet) *PGD {
 		alphabet:       a,
 		edges:          make(map[EdgeKey]EdgeDist),
 		singletonPrior: make(map[RefID]float64),
+		setByKey:       make(map[string]SetID),
 		merge:          prob.DefaultMerge(),
+		mergeLabelName: "average",
+		mergeEdgeName:  "average",
 	}
+}
+
+// memberKey encodes a sorted member list as a map key.
+func memberKey(ms []RefID) string {
+	b := make([]byte, 4*len(ms))
+	for i, r := range ms {
+		b[4*i] = byte(r >> 24)
+		b[4*i+1] = byte(r >> 16)
+		b[4*i+2] = byte(r >> 8)
+		b[4*i+3] = byte(r)
+	}
+	return string(b)
+}
+
+// normalizeMembers returns the sorted, deduplicated member list.
+func normalizeMembers(members []RefID) []RefID {
+	ms := append([]RefID(nil), members...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	n := 0
+	for i, r := range ms {
+		if i == 0 || r != ms[i-1] {
+			ms[n] = r
+			n++
+		}
+	}
+	return ms[:n]
 }
 
 // Alphabet returns the label alphabet.
 func (g *PGD) Alphabet() *prob.Alphabet { return g.alphabet }
 
-// SetMerge overrides the merge functions mΣ and m{T,F}.
+// SetMerge overrides the merge functions mΣ and m{T,F} with raw function
+// values. Function values cannot be serialized, so the snapshot records the
+// prob.MergeCustom identifier for each overridden function and Load of such
+// a snapshot fails loudly; prefer SetNamedMerge for snapshot-bound PGDs.
 func (g *PGD) SetMerge(m prob.MergeFuncs) {
 	if m.Labels != nil {
 		g.merge.Labels = m.Labels
+		g.mergeLabelName = prob.MergeCustom
 	}
 	if m.Edges != nil {
 		g.merge.Edges = m.Edges
+		g.mergeEdgeName = prob.MergeCustom
 	}
+}
+
+// SetNamedMerge installs merge functions by registry name (see
+// prob.NamedLabelMerge / prob.NamedEdgeMerge; "" keeps the current
+// function). Named merges survive Save/Load round-trips: the names go into
+// the snapshot header and Load re-resolves them.
+func (g *PGD) SetNamedMerge(labels, edges string) error {
+	if labels != "" {
+		fn, err := prob.NamedLabelMerge(labels)
+		if err != nil {
+			return err
+		}
+		g.merge.Labels = fn
+		g.mergeLabelName = labels
+	}
+	if edges != "" {
+		fn, err := prob.NamedEdgeMerge(edges)
+		if err != nil {
+			return err
+		}
+		g.merge.Edges = fn
+		g.mergeEdgeName = edges
+	}
+	return nil
 }
 
 // Merge returns the PGD's merge functions.
 func (g *PGD) Merge() prob.MergeFuncs { return g.merge }
+
+// MergeNames returns the identifiers of the installed label and edge merge
+// functions as recorded in snapshots.
+func (g *PGD) MergeNames() (labels, edges string) { return g.mergeLabelName, g.mergeEdgeName }
 
 // AddReference adds a reference with the given label distribution and
 // returns its id.
@@ -204,23 +274,19 @@ func (g *PGD) AddReferenceSet(members []RefID, p float64) (SetID, error) {
 	if p < 0 || p > 1 {
 		return 0, fmt.Errorf("refgraph: set probability %v out of range", p)
 	}
-	ms := make([]RefID, 0, len(members))
-	seen := make(map[RefID]bool, len(members))
 	for _, r := range members {
 		if err := g.checkRef(r); err != nil {
 			return 0, err
 		}
-		if !seen[r] {
-			seen[r] = true
-			ms = append(ms, r)
-		}
 	}
+	ms := normalizeMembers(members)
 	if len(ms) < 2 {
 		return 0, fmt.Errorf("refgraph: reference set needs at least 2 distinct members, got %d", len(ms))
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
 	g.sets = append(g.sets, RefSet{Members: ms, P: p})
-	return SetID(len(g.sets) - 1), nil
+	id := SetID(len(g.sets) - 1)
+	g.setByKey[memberKey(ms)] = id
+	return id, nil
 }
 
 // NumSets returns the number of non-singleton reference sets.
@@ -228,6 +294,85 @@ func (g *PGD) NumSets() int { return len(g.sets) }
 
 // Set returns the non-singleton reference set with the given id.
 func (g *PGD) Set(id SetID) RefSet { return g.sets[id] }
+
+// SetSetProb replaces the merge probability of an existing reference set —
+// the SetLinkage update of the live ingest path.
+func (g *PGD) SetSetProb(id SetID, p float64) error {
+	if id < 0 || int(id) >= len(g.sets) {
+		return fmt.Errorf("refgraph: unknown set %d", id)
+	}
+	if p < 0 || p > 1 {
+		return fmt.Errorf("refgraph: set probability %v out of range", p)
+	}
+	g.sets[id].P = p
+	return nil
+}
+
+// FindSet returns the id of the reference set with exactly the given
+// members (order-insensitive, duplicates ignored), if one exists. O(1) via
+// the member-key index.
+func (g *PGD) FindSet(members []RefID) (SetID, bool) {
+	id, ok := g.setByKey[memberKey(normalizeMembers(members))]
+	return id, ok
+}
+
+// TruncateRefs removes the most recently added references so that n remain.
+// Rollback helper for the live ingest path: the caller must first undo any
+// edges or sets referencing the dropped ids.
+func (g *PGD) TruncateRefs(n int) {
+	if n >= 0 && n < len(g.labels) {
+		g.labels = g.labels[:n]
+	}
+}
+
+// TruncateSets removes the most recently added reference sets so that n
+// remain, maintaining the member index. Rollback helper for the live ingest
+// path.
+func (g *PGD) TruncateSets(n int) {
+	for i := n; i >= 0 && i < len(g.sets); i++ {
+		delete(g.setByKey, memberKey(g.sets[i].Members))
+	}
+	if n >= 0 && n < len(g.sets) {
+		g.sets = g.sets[:n]
+	}
+}
+
+// RestoreEdge reinstates (present) or deletes (!present) an edge without
+// validation. Rollback helper for the live ingest path.
+func (g *PGD) RestoreEdge(k EdgeKey, e EdgeDist, present bool) {
+	if present {
+		g.edges[k] = e
+	} else {
+		delete(g.edges, k)
+	}
+}
+
+// Clone returns an independent copy of the PGD: subsequent mutations on
+// either PGD never affect the other. Immutable-by-convention innards (label
+// distributions, CPT slices, member slices) are shared.
+func (g *PGD) Clone() *PGD {
+	c := &PGD{
+		alphabet:       g.alphabet,
+		labels:         append([]prob.Dist(nil), g.labels...),
+		edges:          make(map[EdgeKey]EdgeDist, len(g.edges)),
+		sets:           append([]RefSet(nil), g.sets...),
+		singletonPrior: make(map[RefID]float64, len(g.singletonPrior)),
+		setByKey:       make(map[string]SetID, len(g.setByKey)),
+		merge:          g.merge,
+		mergeLabelName: g.mergeLabelName,
+		mergeEdgeName:  g.mergeEdgeName,
+	}
+	for k, e := range g.edges {
+		c.edges[k] = e
+	}
+	for r, p := range g.singletonPrior {
+		c.singletonPrior[r] = p
+	}
+	for k, id := range g.setByKey {
+		c.setByKey[k] = id
+	}
+	return c
+}
 
 // SetSingletonPrior sets the explicit existence prior p_s for the singleton
 // set {r}, used only by the literal Definition 2 factor semantics

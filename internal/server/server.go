@@ -17,8 +17,18 @@
 //	                    finds them, then a terminal done/error line
 //	POST /match/batch   BatchRequest      → BatchResponse (items evaluated
 //	                    concurrently through the pool)
+//	POST /ingest        live.Mutation (single JSON or NDJSON batch) →
+//	                    live.ApplyResult; 501 unless SetLive enabled the
+//	                    write path
 //	GET  /healthz       liveness + index identity
-//	GET  /stats         serving counters (requests, cache hits, rejections)
+//	GET  /stats         serving counters (requests, cache hits, rejections,
+//	                    ingest and live-database state)
+//
+// The served index is any pathindex.Reader. With a live database attached
+// (SetLive + live.DB.SetPublisher), every ingested batch publishes a fresh
+// view through Publish — an atomic swap that invalidates stale cache
+// entries by index identity — and the compactor uses DrainObsolete to know
+// when a retired generation's base index is safe to close.
 package server
 
 import (
@@ -26,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -35,6 +46,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/live"
 	"repro/internal/pathindex"
 	"repro/internal/query"
 )
@@ -88,7 +100,7 @@ func (o *Options) normalize() {
 // reference count, so a swap can drain readers before the old index is
 // closed.
 type servedIndex struct {
-	ix   *pathindex.Index
+	ix   pathindex.Reader
 	id   string
 	refs atomic.Int64
 }
@@ -98,23 +110,29 @@ type servedIndex struct {
 type Server struct {
 	opt Options
 
-	mu  sync.RWMutex
-	cur *servedIndex
-	gen atomic.Uint64
+	mu      sync.RWMutex
+	cur     *servedIndex
+	retired []*servedIndex // swapped-out generations not yet drained
+	gen     atomic.Uint64
+
+	live *live.DB // nil unless live ingest is enabled
 
 	sem     chan struct{}
 	waiters atomic.Int64
 	cache   *resultCache
 	flight  flightGroup
 
-	requests  atomic.Uint64
-	rejected  atomic.Uint64
-	failed    atomic.Uint64
-	succeeded atomic.Uint64
+	requests     atomic.Uint64
+	rejected     atomic.Uint64
+	failed       atomic.Uint64
+	succeeded    atomic.Uint64
+	ingested     atomic.Uint64
+	ingestFailed atomic.Uint64
 }
 
-// New creates a server over an opened index.
-func New(ix *pathindex.Index, opt Options) *Server {
+// New creates a server over an opened index (or any other index reader,
+// e.g. a live database view).
+func New(ix pathindex.Reader, opt Options) *Server {
 	opt.normalize()
 	s := &Server{
 		opt:   opt,
@@ -130,20 +148,46 @@ func New(ix *pathindex.Index, opt Options) *Server {
 // finished, and returns that previous index — at which point it is safe to
 // Close. Cached results of the old index are keyed by its identity and
 // simply stop matching, aging out of the LRU.
-func (s *Server) SetIndex(ix *pathindex.Index) *pathindex.Index {
+func (s *Server) SetIndex(ix pathindex.Reader) pathindex.Reader {
 	old := s.setIndex(ix)
 	if old == nil {
 		return nil
 	}
-	// New requests can no longer reference old (acquireIndex reads s.cur
-	// under the lock), so the count only drains.
-	for old.refs.Load() > 0 {
-		time.Sleep(time.Millisecond)
-	}
+	s.DrainObsolete()
 	return old.ix
 }
 
-func (s *Server) setIndex(ix *pathindex.Index) *servedIndex {
+// Publish atomically swaps the served index without waiting for in-flight
+// requests on earlier generations — the hot half of live.Publisher, called
+// on every ingested mutation batch. Retired generations accumulate until
+// DrainObsolete.
+func (s *Server) Publish(r pathindex.Reader) { s.setIndex(r) }
+
+// DrainObsolete blocks until every request pinning a previously retired
+// index generation has finished — the live compactor calls it before
+// closing the old on-disk base. Generations published after the call
+// started are not waited for.
+func (s *Server) DrainObsolete() {
+	s.mu.Lock()
+	snapshot := append([]*servedIndex(nil), s.retired...)
+	s.mu.Unlock()
+	for _, si := range snapshot {
+		for si.refs.Load() > 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.mu.Lock()
+	kept := s.retired[:0]
+	for _, si := range s.retired {
+		if si.refs.Load() > 0 {
+			kept = append(kept, si)
+		}
+	}
+	s.retired = kept
+	s.mu.Unlock()
+}
+
+func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur
@@ -153,6 +197,22 @@ func (s *Server) setIndex(ix *pathindex.Index) *servedIndex {
 	s.cur = &servedIndex{
 		ix: ix,
 		id: fmt.Sprintf("gen%d#%d", s.gen.Add(1), ix.Stats().Entries),
+	}
+	// Prune fully released generations right away: with live ingest every
+	// batch publishes, and without pruning the retired list would pin one
+	// whole view (context tables, overlay, graph delta) per batch until the
+	// next compaction drains. Holding the write lock here excludes
+	// acquireIndex, so refs.Load() == 0 is a stable "nobody can pin it
+	// anymore" fact.
+	kept := s.retired[:0]
+	for _, si := range s.retired {
+		if si.refs.Load() > 0 {
+			kept = append(kept, si)
+		}
+	}
+	s.retired = kept
+	if old != nil {
+		s.retired = append(s.retired, old)
 	}
 	return old
 }
@@ -271,6 +331,10 @@ type StatsResponse struct {
 	CacheEntries int    `json:"cache_entries"`
 	Workers      int    `json:"workers"`
 	IndexEntries uint64 `json:"index_entries"`
+	// Live ingest counters (zero when the write path is disabled).
+	Ingested     uint64       `json:"ingested,omitempty"`
+	IngestFailed uint64       `json:"ingest_failed,omitempty"`
+	Live         *live.Status `json:"live,omitempty"`
 }
 
 // httpError is an error with an HTTP status.
@@ -314,9 +378,83 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/match", s.handleMatch)
 	mux.HandleFunc("/match/stream", s.handleMatchStream)
 	mux.HandleFunc("/match/batch", s.handleBatch)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+// SetLive enables the write path: /ingest mutations are applied to db, and
+// the database publishes every fresh view back through the server's
+// Publisher implementation (pair this with db.SetPublisher(s)).
+func (s *Server) SetLive(db *live.DB) {
+	s.mu.Lock()
+	s.live = db
+	s.mu.Unlock()
+}
+
+func (s *Server) liveDB() *live.DB {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
+
+// maxIngestBatch caps mutations per /ingest request.
+const maxIngestBatch = 4096
+
+// handleIngest applies a batch of mutations. The body is one JSON mutation
+// object, a JSON stream of them, or NDJSON — one mutation per line — all
+// decoded the same way; the whole batch is applied atomically and the
+// response reports the assigned ids and overlay state. The 501 answer
+// distinguishes "server runs read-only" from transient failures.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	db := s.liveDB()
+	if db == nil {
+		writeError(w, &httpError{http.StatusNotImplemented, "live ingest disabled (start the server with -live)"})
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var batch []live.Mutation
+	for {
+		var m live.Mutation
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			writeError(w, decodeError(err))
+			return
+		}
+		if len(batch) == maxIngestBatch {
+			writeError(w, badRequest("ingest batch exceeds the %d-mutation limit", maxIngestBatch))
+			return
+		}
+		batch = append(batch, m)
+	}
+	if len(batch) == 0 {
+		writeError(w, badRequest("empty ingest batch"))
+		return
+	}
+	res, err := db.Apply(batch)
+	if err != nil {
+		s.ingestFailed.Add(1)
+		// Only the client's own mutations warrant a 400; server-side
+		// failures (WAL I/O, shutdown race) must read as retryable.
+		switch {
+		case errors.Is(err, live.ErrClosed):
+			writeError(w, &httpError{http.StatusServiceUnavailable, err.Error()})
+		case errors.Is(err, live.ErrInvalidMutation):
+			writeError(w, badRequest("%v", err))
+		default:
+			writeError(w, &httpError{http.StatusInternalServerError, err.Error()})
+		}
+		return
+	}
+	s.ingested.Add(uint64(res.Applied))
+	writeJSON(w, http.StatusOK, &res)
 }
 
 // handleMatchStream answers one match request as NDJSON: one StreamEvent
@@ -508,7 +646,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	si, release := s.acquireIndex()
 	defer release()
 	ix := si.ix
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	resp := &StatsResponse{
 		Requests:     s.requests.Load(),
 		Succeeded:    s.succeeded.Load(),
 		Failed:       s.failed.Load(),
@@ -518,7 +656,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: size,
 		Workers:      s.opt.Workers,
 		IndexEntries: ix.Stats().Entries,
-	})
+		Ingested:     s.ingested.Load(),
+		IngestFailed: s.ingestFailed.Load(),
+	}
+	if db := s.liveDB(); db != nil {
+		st := db.Status()
+		resp.Live = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // matchParams is one parsed and validated match request, shared by the
@@ -545,7 +690,7 @@ func (p *matchParams) options(matchWorkers int) core.Options {
 }
 
 // parseParams validates one request against the served index's alphabet.
-func (s *Server) parseParams(ix *pathindex.Index, req *MatchRequest) (*matchParams, error) {
+func (s *Server) parseParams(ix pathindex.Reader, req *MatchRequest) (*matchParams, error) {
 	p := &matchParams{alpha: req.Alpha, limit: req.Limit}
 	if p.alpha == 0 {
 		p.alpha = s.opt.DefaultAlpha
@@ -652,7 +797,7 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 
 // compute runs one match evaluation under a worker-pool slot and caches the
 // response.
-func (s *Server) compute(ctx context.Context, ix *pathindex.Index, p *matchParams, key cacheKey) (*MatchResponse, error) {
+func (s *Server) compute(ctx context.Context, ix pathindex.Reader, p *matchParams, key cacheKey) (*MatchResponse, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}

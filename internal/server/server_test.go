@@ -389,7 +389,7 @@ func TestSetIndexInvalidatesCache(t *testing.T) {
 	}
 	// The swap drains in-flight requests, so the old index is safe to
 	// close immediately.
-	if err := old.Close(); err != nil {
+	if err := old.(*pathindex.Index).Close(); err != nil {
 		t.Fatalf("closing drained index: %v", err)
 	}
 

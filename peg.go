@@ -42,7 +42,21 @@
 //		use(m)
 //	}
 //
-// See examples/ for complete programs and DESIGN.md for the system map.
+// # Live ingest
+//
+// The offline artifacts above are immutable; a LiveDB makes the system
+// writable while queries keep serving. Mutations (AddRef / AddEdge /
+// SetLinkage evidence) are WAL-logged, folded into the entity graph
+// incrementally, and merged into query results through an in-memory delta
+// overlay; a background compactor folds everything into fresh on-disk
+// generations:
+//
+//	db, err := peg.CreateLive(ctx, dir, d, peg.LiveOptions{Index: peg.IndexOptions{MaxLen: 3, Beta: 0.1, Gamma: 0.1}})
+//	res, err := db.Apply([]peg.Mutation{{Op: peg.OpSetLinkage, Members: []peg.RefID{r3, r4}, P: 0.5}})
+//	matches, err := peg.Match(ctx, db.View(), q, peg.MatchOptions{Alpha: 0.25})
+//
+// See examples/ for complete programs and DESIGN.md for the system map
+// (including the "Live updates" layer map).
 package peg
 
 import (
@@ -52,6 +66,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/entity"
 	"repro/internal/join"
+	"repro/internal/live"
 	"repro/internal/pathindex"
 	"repro/internal/prob"
 	"repro/internal/query"
@@ -93,10 +108,35 @@ type (
 
 	// Index is the context-aware path index (offline phase artifact).
 	Index = pathindex.Index
+	// IndexReader is the query-time index surface: *Index implements it, and
+	// so does a live database view (base index ⊕ in-memory delta overlay).
+	// Match, MatchStream, MatchSeq, and NewServer accept any IndexReader.
+	IndexReader = pathindex.Reader
 	// IndexOptions configures index construction.
 	IndexOptions = pathindex.Options
 	// IndexStats reports offline phase metrics.
 	IndexStats = pathindex.BuildStats
+
+	// LiveDB is the writable database: a PGD plus serving state accepting
+	// mutations at query time, backed by a CRC-protected mutation log, an
+	// incremental entity-graph delta, an in-memory overlay index, and a
+	// background compactor publishing fresh on-disk generations.
+	LiveDB = live.DB
+	// LiveOptions configures a live database (index parameters per
+	// generation, compaction thresholds, publisher).
+	LiveOptions = live.Options
+	// LiveView is one immutable snapshot of a live database; it implements
+	// IndexReader.
+	LiveView = live.View
+	// LiveStatus summarizes a live database's generation and overlay state.
+	LiveStatus = live.Status
+	// Mutation is one write against a live database: add-ref, add-edge, or
+	// set-linkage (merge-probability evidence).
+	Mutation = live.Mutation
+	// MutationLabel is one label entry of an add-ref mutation.
+	MutationLabel = live.LabelP
+	// ApplyResult summarizes one accepted mutation batch.
+	ApplyResult = live.ApplyResult
 
 	// Query is a labeled query graph.
 	Query = query.Query
@@ -146,6 +186,13 @@ const (
 	SemanticsExample = entity.SemanticsExample
 	// SemanticsFactor is the literal Definition 2 factor product.
 	SemanticsFactor = entity.SemanticsFactor
+)
+
+// Mutation op names for live ingest.
+const (
+	OpAddRef     = live.OpAddRef
+	OpAddEdge    = live.OpAddEdge
+	OpSetLinkage = live.OpSetLinkage
 )
 
 // Matching strategies (Section 6.2.1).
@@ -225,11 +272,24 @@ func NewQuery() *Query { return query.New() }
 // ParseQuery reads the text query DSL ("node NAME LABEL" / "edge A B").
 func ParseQuery(src string, a *Alphabet) (*Query, error) { return query.ParseString(src, a) }
 
+// CreateLive initializes a live (writable) database directory from a PGD:
+// generation 1 is built on disk and an empty mutation log is created. See
+// LiveDB for the write path.
+func CreateLive(ctx context.Context, dir string, d *PGD, opt LiveOptions) (*LiveDB, error) {
+	return live.Create(ctx, dir, d, opt)
+}
+
+// OpenLive attaches to an existing live database directory, replaying the
+// mutation log over the current generation.
+func OpenLive(dir string, opt LiveOptions) (*LiveDB, error) {
+	return live.Open(dir, opt)
+}
+
 // Match answers a probabilistic subgraph pattern matching query
 // (Definition 5): all matches M of q with Pr(M) ≥ opt.Alpha, with exact
 // probabilities and per-stage statistics. It buffers the whole result set;
 // use MatchStream or MatchSeq to consume matches as they are found.
-func Match(ctx context.Context, ix *Index, q *Query, opt MatchOptions) (*MatchResult, error) {
+func Match(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions) (*MatchResult, error) {
 	return core.Match(ctx, ix, q, opt)
 }
 
@@ -239,7 +299,7 @@ func Match(ctx context.Context, ix *Index, q *Query, opt MatchOptions) (*MatchRe
 // from yield, reaching opt.Limit, or cancelling ctx stops the remaining
 // search immediately; the returned MatchStats carry the per-stage numbers
 // and the Truncated flag.
-func MatchStream(ctx context.Context, ix *Index, q *Query, opt MatchOptions, yield func(MatchRecord) bool) (MatchStats, error) {
+func MatchStream(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions, yield func(MatchRecord) bool) (MatchStats, error) {
 	return core.MatchStream(ctx, ix, q, opt, yield)
 }
 
@@ -255,10 +315,12 @@ func MatchStream(ctx context.Context, ix *Index, q *Query, opt MatchOptions, yie
 //
 // Breaking out of the loop aborts the enumeration. A failed run yields one
 // final (zero MatchRecord, err) pair.
-func MatchSeq(ctx context.Context, ix *Index, q *Query, opt MatchOptions) iter.Seq2[MatchRecord, error] {
+func MatchSeq(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions) iter.Seq2[MatchRecord, error] {
 	return core.MatchSeq(ctx, ix, q, opt)
 }
 
-// NewServer wraps an opened index in the concurrent HTTP/JSON query server;
-// mount NewServer(ix, opt).Handler() on an http.Server (see cmd/pegserve).
-func NewServer(ix *Index, opt ServerOptions) *Server { return server.New(ix, opt) }
+// NewServer wraps an opened index (or a live database view) in the
+// concurrent HTTP/JSON query server; mount NewServer(ix, opt).Handler() on
+// an http.Server (see cmd/pegserve). To enable the write path, pair it with
+// a LiveDB: srv.SetLive(db); db.SetPublisher(srv).
+func NewServer(ix IndexReader, opt ServerOptions) *Server { return server.New(ix, opt) }
