@@ -42,18 +42,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pegserve: ")
 	var (
-		pgdPath = flag.String("pgd", "", "input PGD file (required unless -live resumes an existing database)")
-		dir     = flag.String("dir", "", "index directory — or live database directory with -live (required)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "concurrent match evaluations (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "request queue depth before 503 (0 = 4×workers)")
-		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		alpha   = flag.Float64("alpha", 0.25, "default probability threshold α")
-		build   = flag.Bool("build", false, "build the index first if dir has none")
-		maxLen  = flag.Int("L", 3, "index path length when building")
-		beta    = flag.Float64("beta", 0.1, "index construction threshold β when building")
-		gamma   = flag.Float64("gamma", 0.1, "index resolution γ when building")
+		pgdPath  = flag.String("pgd", "", "input PGD file (required unless -live resumes an existing database)")
+		dir      = flag.String("dir", "", "index directory — or live database directory with -live (required)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent match evaluations (0 = GOMAXPROCS)")
+		matchPar = flag.Int("match-parallelism", 1, "join workers per match evaluation (capped at -workers; 1 = sequential join)")
+		queue    = flag.Int("queue", 0, "request queue depth before 503 (0 = 4×workers)")
+		cache    = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		alpha    = flag.Float64("alpha", 0.25, "default probability threshold α")
+		build    = flag.Bool("build", false, "build the index first if dir has none")
+		maxLen   = flag.Int("L", 3, "index path length when building")
+		beta     = flag.Float64("beta", 0.1, "index construction threshold β when building")
+		gamma    = flag.Float64("gamma", 0.1, "index resolution γ when building")
 
 		liveMode     = flag.Bool("live", false, "serve read-write: enable POST /ingest backed by a live database in -dir")
 		compactEvery = flag.Int("compact-every", 512, "live: background-compact after this many mutations (negative disables)")
@@ -101,7 +102,7 @@ func main() {
 		st := db.Status()
 		log.Printf("live database: generation %d, %d entities, %d pending mutations",
 			st.Generation, st.Entities, st.Mutations)
-		srv = peg.NewServer(db.View(), serverOptions(*workers, *queue, *cache, *timeout, *alpha))
+		srv = peg.NewServer(db.View(), serverOptions(*workers, *matchPar, *queue, *cache, *timeout, *alpha))
 		srv.SetLive(db)
 		db.SetPublisher(srv)
 	} else {
@@ -128,7 +129,7 @@ func main() {
 		st := ix.Stats()
 		log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
 			st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
-		srv = peg.NewServer(ix, serverOptions(*workers, *queue, *cache, *timeout, *alpha))
+		srv = peg.NewServer(ix, serverOptions(*workers, *matchPar, *queue, *cache, *timeout, *alpha))
 	}
 
 	hs := &http.Server{
@@ -188,12 +189,13 @@ func loadPGD(path string) *peg.PGD {
 	return d
 }
 
-func serverOptions(workers, queue, cache int, timeout time.Duration, alpha float64) peg.ServerOptions {
+func serverOptions(workers, matchPar, queue, cache int, timeout time.Duration, alpha float64) peg.ServerOptions {
 	return peg.ServerOptions{
-		Workers:        workers,
-		QueueDepth:     queue,
-		CacheEntries:   cache,
-		RequestTimeout: timeout,
-		DefaultAlpha:   alpha,
+		Workers:          workers,
+		MatchParallelism: matchPar,
+		QueueDepth:       queue,
+		CacheEntries:     cache,
+		RequestTimeout:   timeout,
+		DefaultAlpha:     alpha,
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -97,6 +98,16 @@ type Options struct {
 	Limit int
 	// Order selects the emission order (OrderEmit or OrderByProb).
 	Order ResultOrder
+	// Parallelism is the number of join-enumeration workers for the final
+	// match generation stage (Section 5.2.5): 0 = GOMAXPROCS, 1 = the
+	// sequential depth-first path. The first join level is split into
+	// morsels consumed by the workers, each with its own allocation-free
+	// scratch state. The match set is always exactly the sequential set;
+	// Match (collect) output and OrderByProb streams are deterministic
+	// regardless of Parallelism, while an OrderEmit stream's emission order
+	// (and, with Limit, which matches are kept) depends on worker
+	// scheduling when Parallelism > 1.
+	Parallelism int
 }
 
 // Stats reports per-stage behaviour of one match run.
@@ -173,6 +184,9 @@ func MatchStream(ctx context.Context, ix pathindex.Reader, q *query.Query, opt O
 	if opt.Limit < 0 {
 		return st, fmt.Errorf("core: negative limit %d", opt.Limit)
 	}
+	if opt.Parallelism < 0 {
+		return st, fmt.Errorf("core: negative parallelism %d", opt.Parallelism)
+	}
 	switch opt.Order {
 	case OrderEmit, OrderByProb:
 	default:
@@ -247,9 +261,18 @@ func MatchStream(ctx context.Context, ix pathindex.Reader, q *query.Query, opt O
 		orderMode = join.OrderByCardinality
 	}
 	order := join.Order(dec, orderMode)
-	if opt.Order == OrderByProb {
+	par := opt.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case opt.Order == OrderByProb && par > 1:
+		err = streamTopKParallel(ctx, g, q, dec, kg, order, opt, par, yield, &st)
+	case opt.Order == OrderByProb:
 		err = streamTopK(ctx, g, q, dec, kg, order, opt, yield, &st)
-	} else {
+	case par > 1:
+		err = streamEmitParallel(ctx, g, q, dec, kg, order, opt, par, yield, &st)
+	default:
 		err = streamEmit(ctx, g, q, dec, kg, order, opt, yield, &st)
 	}
 	if err != nil {
@@ -293,6 +316,90 @@ func streamTopK(ctx context.Context, g *entity.Graph, q *query.Query, dec *decom
 	}
 	st.Truncated = top.dropped > 0
 	for _, m := range top.sorted() {
+		st.Matched++
+		if !yield(m) {
+			st.Truncated = true
+			break
+		}
+	}
+	return nil
+}
+
+// streamEmitParallel fans the per-worker match streams into one channel so
+// the caller's yield keeps its serial contract: the morsel workers enumerate
+// concurrently, the consumer (this goroutine) emits. Limit or a false yield
+// closes the stop channel, which unblocks every producer send and stops all
+// workers promptly.
+func streamEmitParallel(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, par int, yield func(join.Match) bool, st *Stats) error {
+	ch := make(chan join.Match, 4*par)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var jerr error
+	go func() {
+		defer close(done)
+		jerr = join.FindMatchesParallel(ctx, g, q, dec, kg, order, opt.Alpha, par, func(_ int, m join.Match) bool {
+			select {
+			case ch <- m:
+				return true
+			case <-stop:
+				return false
+			}
+		})
+		close(ch)
+	}()
+	stopped := false
+	for m := range ch {
+		st.Matched++
+		keep := yield(m)
+		if !keep || (opt.Limit > 0 && st.Matched >= opt.Limit) {
+			st.Truncated = true
+			stopped = true
+			close(stop)
+			break
+		}
+	}
+	<-done
+	if stopped {
+		return nil
+	}
+	// The producers may have finished (and reported no error) before a
+	// cancellation that raced with the last buffered matches being drained;
+	// re-check so a cancel-from-yield surfaces as ctx.Err() exactly like the
+	// sequential path's tail check.
+	if jerr == nil {
+		jerr = ctx.Err()
+	}
+	return jerr
+}
+
+// streamTopKParallel runs the parallel join to completion with one bounded
+// min-heap per worker — no cross-worker synchronization on the hot path —
+// then merges the per-worker heaps and emits the global top-Limit in
+// decreasing probability. Because the enumeration is exhaustive and
+// betterMatch is a total order, the output is byte-identical to the
+// sequential OrderByProb stream.
+func streamTopKParallel(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, par int, yield func(join.Match) bool, st *Stats) error {
+	tops := make([]*topK, par)
+	for i := range tops {
+		tops[i] = newTopK(opt.Limit)
+	}
+	err := join.FindMatchesParallel(ctx, g, q, dec, kg, order, opt.Alpha, par, func(w int, m join.Match) bool {
+		tops[w].offer(m)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	merged := newTopK(opt.Limit)
+	offered := 0
+	for _, t := range tops {
+		offered += len(t.heap) + t.dropped
+		for _, m := range t.heap {
+			merged.offer(m)
+		}
+	}
+	st.Truncated = opt.Limit > 0 && offered > opt.Limit
+	for _, m := range merged.sorted() {
 		st.Matched++
 		if !yield(m) {
 			st.Truncated = true

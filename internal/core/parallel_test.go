@@ -1,0 +1,264 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/gen"
+	"repro/internal/join"
+)
+
+// matchesIdentical demands exact equality — mapping, Prle, Prn (bitwise),
+// and order — between two collected result sets. The parallel join must be
+// indistinguishable from the sequential one after the deterministic sort,
+// not merely equal within a tolerance: every match's probability components
+// are computed by the same fixed-order finalize in both paths.
+func matchesIdentical(t *testing.T, label string, want, got []join.Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if len(w.Mapping) != len(g.Mapping) {
+			t.Fatalf("%s: match %d mapping length %d, want %d", label, i, len(g.Mapping), len(w.Mapping))
+		}
+		for k := range w.Mapping {
+			if w.Mapping[k] != g.Mapping[k] {
+				t.Fatalf("%s: match %d mapping[%d] = %d, want %d", label, i, k, g.Mapping[k], w.Mapping[k])
+			}
+		}
+		if w.Prle != g.Prle || w.Prn != g.Prn {
+			t.Fatalf("%s: match %d probabilities (%v, %v), want (%v, %v)",
+				label, i, g.Prle, g.Prn, w.Prle, w.Prn)
+		}
+	}
+}
+
+// TestParallelCollectEquivalence is the parallel-correctness property: on
+// seeded random synthetic PGDs, collect-mode results at Parallelism 2, 4,
+// and 8 are exactly equal (mapping, Prle, Prn, order) to the sequential run,
+// across both decomposition strategies.
+func TestParallelCollectEquivalence(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	strategies := []core.Strategy{core.StrategyOptimized, core.StrategyRandomDecomp}
+	for _, seed := range seeds {
+		d, err := gen.Synthetic(gen.SynthOptions{
+			Refs:          30,
+			EdgeFactor:    2,
+			Labels:        4,
+			UncertainFrac: 0.4,
+			Groups:        2,
+			GroupSize:     3,
+			PairsPerGroup: 2,
+			Seed:          seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Synthetic: %v", seed, err)
+		}
+		g, err := entity.Build(d, entity.BuildOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", seed, err)
+		}
+		ix := buildIx(t, g, 2, 0.05)
+
+		rng := rand.New(rand.NewSource(seed * 313))
+		for qi := 0; qi < 3; qi++ {
+			q, err := gen.RandomQuery(rng, g.NumLabels(), 2+rng.Intn(2), 3)
+			if err != nil {
+				t.Fatalf("seed %d: RandomQuery: %v", seed, err)
+			}
+			for _, s := range strategies {
+				opts := func(par int) core.Options {
+					return core.Options{
+						Alpha:       0.1,
+						Strategy:    s,
+						Rand:        rand.New(rand.NewSource(seed ^ int64(qi))),
+						Parallelism: par,
+					}
+				}
+				seq, err := core.Match(context.Background(), ix, q, opts(1))
+				if err != nil {
+					t.Fatalf("seed %d q%d %v: sequential: %v", seed, qi, s, err)
+				}
+				for _, par := range []int{2, 4, 8} {
+					res, err := core.Match(context.Background(), ix, q, opts(par))
+					if err != nil {
+						t.Fatalf("seed %d q%d %v P=%d: %v", seed, qi, s, par, err)
+					}
+					matchesIdentical(t, q.Format(g.Alphabet()), seq.Matches, res.Matches)
+					if res.Stats.Matched != seq.Stats.Matched {
+						t.Fatalf("seed %d q%d %v P=%d: Matched %d, want %d",
+							seed, qi, s, par, res.Stats.Matched, seq.Stats.Matched)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelTopKEquivalence: OrderByProb output is deterministic under
+// parallelism — the merged per-worker heaps must reproduce the sequential
+// top-K stream byte for byte, including the Truncated flag.
+func TestParallelTopKEquivalence(t *testing.T) {
+	d, err := gen.Synthetic(gen.SynthOptions{
+		Refs: 30, EdgeFactor: 2, Labels: 4, UncertainFrac: 0.4,
+		Groups: 2, GroupSize: 3, PairsPerGroup: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.05)
+	rng := rand.New(rand.NewSource(99))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 1, 5} {
+		run := func(par int) ([]join.Match, core.Stats) {
+			var ms []join.Match
+			st, err := core.MatchStream(context.Background(), ix, q, core.Options{
+				Alpha: 0.05, Limit: limit, Order: core.OrderByProb, Parallelism: par,
+			}, func(m join.Match) bool {
+				ms = append(ms, m)
+				return true
+			})
+			if err != nil {
+				t.Fatalf("limit %d P=%d: %v", limit, par, err)
+			}
+			return ms, st
+		}
+		seq, seqSt := run(1)
+		for _, par := range []int{2, 4, 8} {
+			got, gotSt := run(par)
+			matchesIdentical(t, "topk", seq, got)
+			if gotSt.Truncated != seqSt.Truncated {
+				t.Fatalf("limit %d P=%d: Truncated %v, want %v", limit, par, gotSt.Truncated, seqSt.Truncated)
+			}
+		}
+	}
+}
+
+// TestParallelLimitStops: an OrderEmit stream with a Limit stops the
+// parallel enumeration after exactly Limit yields and flags truncation.
+func TestParallelLimitStops(t *testing.T) {
+	d, err := gen.Synthetic(gen.SynthOptions{
+		Refs: 30, EdgeFactor: 2, Labels: 4, UncertainFrac: 0.4,
+		Groups: 2, GroupSize: 3, PairsPerGroup: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.05)
+	rng := rand.New(rand.NewSource(17))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.05, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) < 2 {
+		t.Skipf("workload too sparse: %d matches", len(full.Matches))
+	}
+	seen := 0
+	st, err := core.MatchStream(context.Background(), ix, q,
+		core.Options{Alpha: 0.05, Limit: 1, Parallelism: 4},
+		func(join.Match) bool {
+			seen++
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 || st.Matched != 1 {
+		t.Fatalf("limit 1: yielded %d, Matched %d", seen, st.Matched)
+	}
+	if !st.Truncated {
+		t.Fatal("limit-stopped parallel run not flagged Truncated")
+	}
+}
+
+// TestParallelCancellationMidStream: cancelling the context from inside the
+// yield of a parallel stream aborts every worker and surfaces ctx.Err().
+func TestParallelCancellationMidStream(t *testing.T) {
+	d, err := gen.Synthetic(gen.SynthOptions{
+		Refs: 30, EdgeFactor: 2, Labels: 4, UncertainFrac: 0.4,
+		Groups: 2, GroupSize: 3, PairsPerGroup: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 2, 0.05)
+	rng := rand.New(rand.NewSource(23))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Matches) == 0 {
+		t.Skip("workload has no matches")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	_, err = core.MatchStream(ctx, ix, q, core.Options{Alpha: 0.05, Parallelism: 4},
+		func(join.Match) bool {
+			seen++
+			cancel()
+			return true
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel mid-stream cancel: err = %v, want context.Canceled", err)
+	}
+	if seen == 0 {
+		t.Fatal("yield never ran before cancellation")
+	}
+}
+
+// TestParallelismValidation: a negative Parallelism is rejected.
+func TestParallelismValidation(t *testing.T) {
+	d, err := gen.Synthetic(gen.SynthOptions{
+		Refs: 12, EdgeFactor: 2, Labels: 3, UncertainFrac: 0.3,
+		Groups: 1, GroupSize: 2, PairsPerGroup: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildIx(t, g, 1, 0.05)
+	rng := rand.New(rand.NewSource(3))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Match(context.Background(), ix, q, core.Options{Alpha: 0.5, Parallelism: -1}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+}

@@ -380,7 +380,7 @@ func recomputeComponents(old, ng *Graph, d *refgraph.PGD, dl Delta, refToEnts []
 			return nil, fmt.Errorf("entity: identity component with %d entities exceeds the 64-entity limit", len(ms))
 		}
 		ci := int32(len(ng.comps))
-		comp := &Component{Members: ms, memo: make(map[uint64]float64)}
+		comp := &Component{Members: ms}
 		for pos, m := range ms {
 			ng.nodes[m].Comp = ci
 			ng.nodes[m].CompPos = uint8(pos)

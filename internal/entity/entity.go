@@ -288,7 +288,7 @@ func (g *Graph) buildComponents(d *refgraph.PGD, refToEnts [][]ID, opt BuildOpti
 		if len(members) > 64 {
 			return fmt.Errorf("entity: identity component with %d entities exceeds the 64-entity limit", len(members))
 		}
-		comp := &Component{Members: members, memo: make(map[uint64]float64)}
+		comp := &Component{Members: members}
 		for pos, m := range members {
 			g.nodes[m].Comp = ci
 			g.nodes[m].CompPos = uint8(pos)

@@ -3,6 +3,7 @@ package entity
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/prob"
 	"repro/internal/refgraph"
@@ -15,21 +16,28 @@ type Component struct {
 	Members []ID // sorted entity ids; bit i of a Config mask = Members[i]
 	Configs []Config
 
+	// memo caches subset marginals copy-on-write: readers load the map
+	// lock-free (the join hot path hits it once per partial extension from
+	// every worker), writers take mu, copy, insert, and republish. The set
+	// of distinct masks per component is tiny — bounded by the query-node
+	// subsets that land in the component — so the copies are cheap and the
+	// steady state is all hits with zero contention.
 	mu   sync.Mutex
-	memo map[uint64]float64
+	memo atomic.Pointer[map[uint64]float64]
 }
 
 // MarginalAll returns Pr(all entities in mask exist): the sum of the
 // probabilities of configurations whose mask is a superset of mask. Results
-// are memoized; the method is safe for concurrent use.
+// are memoized; the method is safe (and in steady state contention-free)
+// for concurrent use.
 func (c *Component) MarginalAll(mask uint64) float64 {
 	if mask == 0 {
 		return 1
 	}
-	c.mu.Lock()
-	if p, ok := c.memo[mask]; ok {
-		c.mu.Unlock()
-		return p
+	if m := c.memo.Load(); m != nil {
+		if p, ok := (*m)[mask]; ok {
+			return p
+		}
 	}
 	p := 0.0
 	for _, cfg := range c.Configs {
@@ -37,10 +45,22 @@ func (c *Component) MarginalAll(mask uint64) float64 {
 			p += cfg.P
 		}
 	}
-	if c.memo == nil {
-		c.memo = make(map[uint64]float64)
+	c.mu.Lock()
+	cur := c.memo.Load()
+	var next map[uint64]float64
+	if cur == nil {
+		next = map[uint64]float64{mask: p}
+	} else if _, ok := (*cur)[mask]; ok {
+		c.mu.Unlock()
+		return p
+	} else {
+		next = make(map[uint64]float64, len(*cur)+1)
+		for k, v := range *cur {
+			next[k] = v
+		}
+		next[mask] = p
 	}
-	c.memo[mask] = p
+	c.memo.Store(&next)
 	c.mu.Unlock()
 	return p
 }

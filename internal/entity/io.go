@@ -158,7 +158,7 @@ func Load(r io.Reader) (*Graph, error) {
 		if nm < 0 || nm > 64 {
 			return nil, fmt.Errorf("entity: component %d has %d members", i, nm)
 		}
-		c := &Component{Members: make([]ID, nm), memo: make(map[uint64]float64)}
+		c := &Component{Members: make([]ID, nm)}
 		for j := range c.Members {
 			c.Members[j] = ID(br.U32())
 		}

@@ -2,6 +2,13 @@
 // join-order heuristic and the incremental extension of partial matches
 // along the reduced candidate k-partite graph, with exact final probability
 // and reference-disjointness checks.
+//
+// The enumeration is depth-first over a precomputed per-run plan with all
+// mutable state in a reusable per-worker scratch (see scratch.go), so the
+// steady-state hot path allocates nothing: a match's mapping is copied out
+// of the scratch only at yield time. FindMatchesFunc runs one worker;
+// FindMatchesParallel (see parallel.go) splits the first partition's
+// candidates into morsels consumed by a worker pool.
 package join
 
 import (
@@ -12,7 +19,6 @@ import (
 	"repro/internal/entity"
 	"repro/internal/kpartite"
 	"repro/internal/query"
-	"repro/internal/refgraph"
 )
 
 // Match is a full query match: the mapping ψ from query nodes to entities
@@ -99,260 +105,44 @@ func Order(dec *decompose.Decomposition, mode OrderMode) []int {
 	return order
 }
 
-// partial is a match under construction.
-type partial struct {
-	verts []int32 // chosen vertex per ordered prefix position
-	asn   map[query.NodeID]entity.ID
-}
-
 // joined names an earlier ordered path that shares a join predicate with the
 // partition being extended, together with its position in the order.
 type joined struct{ part, pos int }
-
-// enumerator drives the depth-first enumeration of full matches: one partial
-// match is extended through the whole join order before the next sibling
-// candidate is tried, so complete matches surface as early as possible and an
-// early stop (Limit, ctx cancellation, consumer break) abandons the remaining
-// search tree immediately.
-type enumerator struct {
-	ctx   context.Context
-	g     *entity.Graph
-	q     *query.Query
-	dec   *decompose.Decomposition
-	kg    *kpartite.Graph
-	order []int
-	alpha float64
-	yield func(Match) bool
-	// joins[step] lists the earlier ordered paths with join predicates into
-	// order[step]; it depends only on the step, so it is precomputed once.
-	joins   [][]joined
-	ops     int
-	stopped bool
-}
-
-// descend extends pm with a candidate of order[step], recursing until the
-// order is exhausted and the complete assignment is finalized.
-func (e *enumerator) descend(pm partial, step int) error {
-	e.ops++
-	if e.ops&1023 == 0 {
-		if err := e.ctx.Err(); err != nil {
-			return err
-		}
-	}
-	if step == len(e.order) {
-		if m, ok := finalize(e.g, e.q, pm.asn, e.alpha); ok {
-			if !e.yield(m) {
-				e.stopped = true
-			}
-		}
-		return nil
-	}
-	b := e.order[step]
-	candIdxs := e.kg.AliveVertices(b)
-	if js := e.joins[step]; len(js) > 0 {
-		// Intersect the link lists from each joined chosen vertex.
-		candIdxs = e.kg.LinkedAlive(js[0].part, int(pm.verts[js[0].pos]), b)
-		for _, jd := range js[1:] {
-			candIdxs = intersectLinks(candIdxs, e.kg.Links(jd.part, int(pm.verts[jd.pos]), b))
-			if len(candIdxs) == 0 {
-				break
-			}
-		}
-	}
-	for _, ci := range candIdxs {
-		if e.stopped {
-			return nil
-		}
-		if !e.kg.Alive(b, int(ci)) {
-			continue
-		}
-		np, ok := extend(e.g, e.q, e.dec, e.kg, pm, b, int(ci), e.alpha, e.order[:step+1])
-		if !ok {
-			continue
-		}
-		if err := e.descend(np, step+1); err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 // FindMatchesFunc enumerates full matches with Pr(M) ≥ alpha from the
 // (possibly reduced) k-partite graph, invoking yield once per match as it is
 // found. Enumeration is depth-first, so the first match is produced without
 // materializing the full result set. Returning false from yield stops the
 // enumeration immediately (FindMatchesFunc then returns nil); a context
-// cancellation mid-enumeration returns ctx.Err().
+// cancellation mid-enumeration returns ctx.Err(), checked once per seed
+// candidate, every 1024 extension attempts, and once after the enumeration
+// completes.
 func FindMatchesFunc(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, alpha float64, yield func(Match) bool) error {
 	if len(order) == 0 {
 		return nil
 	}
-	e := &enumerator{
-		ctx: ctx, g: g, q: q, dec: dec, kg: kg,
-		order: order, alpha: alpha, yield: yield,
-		joins: make([][]joined, len(order)),
-	}
-	for step := 1; step < len(order); step++ {
-		for pos := 0; pos < step; pos++ {
-			if len(dec.Preds(order[pos], order[step])) > 0 {
-				e.joins[step] = append(e.joins[step], joined{order[pos], pos})
-			}
-		}
-	}
+	p := newPlan(g, q, dec, kg, order, alpha)
+	s := newScratch(p, ctx, yield)
 	// Seed with the first partition's alive vertices; each seed is driven
 	// depth-first through the rest of the order before the next one starts.
 	first := order[0]
-	for _, fi := range kg.AliveVertices(first) {
-		if e.stopped {
+	n := kg.NumCandidates(first)
+	for ci := 0; ci < n; ci++ {
+		if s.stopped {
 			return nil
 		}
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		i := int(fi)
-		c := kg.Candidate(first, i)
-		asn := make(map[query.NodeID]entity.ID, q.NumNodes())
-		for pos, qn := range dec.Paths[first].Nodes {
-			asn[qn] = c.Nodes[pos]
+		if !kg.Alive(first, ci) {
+			continue
 		}
-		if err := e.descend(partial{verts: []int32{int32(i)}, asn: asn}, 1); err != nil {
+		if err := s.runSeed(ci); err != nil {
 			return err
 		}
 	}
-	return nil
-}
-
-// extend adds partition b's candidate ci to the partial, checking assignment
-// consistency, reference disjointness, and the partial probability bound.
-func extend(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, pm partial, b, ci int, alpha float64, prefix []int) (partial, bool) {
-	c := kg.Candidate(b, ci)
-	path := dec.Paths[b]
-	asn := make(map[query.NodeID]entity.ID, len(pm.asn)+len(path.Nodes))
-	for k, v := range pm.asn {
-		asn[k] = v
+	if s.stopped {
+		return nil
 	}
-	for pos, qn := range path.Nodes {
-		if v, ok := asn[qn]; ok {
-			if v != c.Nodes[pos] {
-				return partial{}, false
-			}
-			continue
-		}
-		asn[qn] = c.Nodes[pos]
-	}
-	if !assignmentRefsDisjoint(g, asn) {
-		return partial{}, false
-	}
-	// Partial probability upper-bounds the final match probability: prune
-	// extensions already below α (Section 5.2.5).
-	if partialPr(g, q, dec, asn, prefix)+1e-12 < alpha {
-		return partial{}, false
-	}
-	verts := make([]int32, len(pm.verts)+1)
-	copy(verts, pm.verts)
-	verts[len(pm.verts)] = int32(ci)
-	return partial{verts: verts, asn: asn}, true
-}
-
-// partialPr computes the probability of the union subgraph covered by the
-// ordered prefix of paths.
-func partialPr(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, asn map[query.NodeID]entity.ID, prefix []int) float64 {
-	prle := 1.0
-	nodes := make([]entity.ID, 0, len(asn))
-	for qn, v := range asn {
-		prle *= g.PrLabel(v, q.Label(qn))
-		if prle == 0 {
-			return 0
-		}
-		nodes = append(nodes, v)
-	}
-	seen := make(map[[2]query.NodeID]struct{}, 16)
-	for _, p := range prefix {
-		path := dec.Paths[p]
-		for pos := 0; pos+1 < len(path.Nodes); pos++ {
-			a, b := path.Nodes[pos], path.Nodes[pos+1]
-			if a > b {
-				a, b = b, a
-			}
-			key := [2]query.NodeID{a, b}
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-			ep, ok := g.EdgeBetween(asn[a], asn[b])
-			if !ok {
-				return 0
-			}
-			prle *= ep.Prob(q.Label(a), q.Label(b))
-			if prle == 0 {
-				return 0
-			}
-		}
-	}
-	return prle * g.Prn(nodes)
-}
-
-// finalize computes the exact Pr(M) over every query node and edge.
-func finalize(g *entity.Graph, q *query.Query, asn map[query.NodeID]entity.ID, alpha float64) (Match, bool) {
-	mapping := make([]entity.ID, q.NumNodes())
-	nodes := make([]entity.ID, 0, q.NumNodes())
-	prle := 1.0
-	for n := 0; n < q.NumNodes(); n++ {
-		v, ok := asn[query.NodeID(n)]
-		if !ok {
-			return Match{}, false // uncovered query node (cannot happen with a covering decomposition)
-		}
-		mapping[n] = v
-		nodes = append(nodes, v)
-		prle *= g.PrLabel(v, q.Label(query.NodeID(n)))
-		if prle == 0 {
-			return Match{}, false
-		}
-	}
-	for _, e := range q.Edges() {
-		ep, ok := g.EdgeBetween(mapping[e[0]], mapping[e[1]])
-		if !ok {
-			return Match{}, false
-		}
-		prle *= ep.Prob(q.Label(e[0]), q.Label(e[1]))
-		if prle == 0 {
-			return Match{}, false
-		}
-	}
-	prn := g.Prn(nodes)
-	if prle*prn+1e-12 < alpha {
-		return Match{}, false
-	}
-	return Match{Mapping: mapping, Prle: prle, Prn: prn}, true
-}
-
-func assignmentRefsDisjoint(g *entity.Graph, asn map[query.NodeID]entity.ID) bool {
-	seen := make(map[refgraph.RefID]struct{}, len(asn)*2)
-	for _, v := range asn {
-		for _, r := range g.Refs(v) {
-			if _, dup := seen[r]; dup {
-				return false
-			}
-			seen[r] = struct{}{}
-		}
-	}
-	return true
-}
-
-func intersectLinks(a []int32, b []int32) []int32 {
-	var out []int32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return ctx.Err()
 }

@@ -86,7 +86,7 @@ func TestOrderEmpty(t *testing.T) {
 	}
 }
 
-func TestIntersectLinks(t *testing.T) {
+func TestIntersectInto(t *testing.T) {
 	cases := []struct {
 		a, b, want []int32
 	}{
@@ -96,7 +96,7 @@ func TestIntersectLinks(t *testing.T) {
 		{[]int32{7}, []int32{7}, []int32{7}},
 	}
 	for _, c := range cases {
-		got := intersectLinks(c.a, c.b)
+		got := intersectInto(nil, c.a, c.b)
 		if len(got) != len(c.want) {
 			t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
 			continue
@@ -105,6 +105,22 @@ func TestIntersectLinks(t *testing.T) {
 			if got[i] != c.want[i] {
 				t.Errorf("intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
 			}
+		}
+	}
+}
+
+// TestIntersectIntoInPlace covers the scratch reuse pattern: dst shares the
+// input's backing array (the write index never passes the read index).
+func TestIntersectIntoInPlace(t *testing.T) {
+	buf := append([]int32(nil), 1, 3, 5, 7, 9)
+	got := intersectInto(buf[:0], buf, []int32{3, 7, 8, 9})
+	want := []int32{3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("in-place intersect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-place intersect = %v, want %v", got, want)
 		}
 	}
 }

@@ -1,0 +1,126 @@
+package join
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/kpartite"
+	"repro/internal/query"
+)
+
+// Morsel sizing for FindMatchesParallel: aim for several morsels per worker
+// so the atomic dispatch counter load-balances skewed subtrees, but cap the
+// morsel size so cancellation latency stays bounded even on huge candidate
+// lists.
+const (
+	morselPerWorker = 4
+	maxMorsel       = 64
+)
+
+// FindMatchesParallel is the morsel-driven form of FindMatchesFunc: the
+// first partition's candidates are split into morsels handed out through an
+// atomic counter to `workers` goroutines, each driving its morsel's seeds
+// depth-first through the whole join order with its own reusable scratch
+// state — so the steady-state enumeration allocates nothing and scales with
+// cores.
+//
+// yield may be invoked concurrently, always with the calling worker's id in
+// [0, workers); calls from the same worker are sequential. Returning false
+// from any yield stops every worker promptly (FindMatchesParallel then
+// returns nil). Cancellation is cooperative: each worker checks ctx on every
+// morsel pickup and every 1024 extension attempts, and a cancelled run
+// returns ctx.Err().
+//
+// The produced match set — every mapping with its Prle and Prn, each
+// computed by the same fixed-order finalize — is exactly the sequential
+// set; only the emission order depends on scheduling.
+func FindMatchesParallel(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, alpha float64, workers int, yield func(worker int, m Match) bool) error {
+	if len(order) == 0 {
+		return nil
+	}
+	first := order[0]
+	total := kg.NumCandidates(first)
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		return FindMatchesFunc(ctx, g, q, dec, kg, order, alpha, func(m Match) bool { return yield(0, m) })
+	}
+	plan := newPlan(g, q, dec, kg, order, alpha)
+	morsel := total / (workers * morselPerWorker)
+	if morsel < 1 {
+		morsel = 1
+	}
+	if morsel > maxMorsel {
+		morsel = maxMorsel
+	}
+
+	var (
+		next atomic.Int64 // morsel dispatch counter
+		stop atomic.Bool  // raised by yield-false, ctx error, or a worker error
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := newScratch(plan, ctx, func(m Match) bool {
+				if stop.Load() {
+					return false
+				}
+				if !yield(w, m) {
+					stop.Store(true)
+					return false
+				}
+				return true
+			})
+			for {
+				if stop.Load() || s.stopped {
+					return
+				}
+				lo := int(next.Add(1)-1) * morsel
+				if lo >= total {
+					return
+				}
+				// Cancellation is also checked on every morsel pickup so the
+				// latency bound does not depend on the per-extension counter.
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					stop.Store(true)
+					return
+				}
+				hi := lo + morsel
+				if hi > total {
+					hi = total
+				}
+				for ci := lo; ci < hi; ci++ {
+					if stop.Load() || s.stopped {
+						return
+					}
+					if !kg.Alive(first, ci) {
+						continue
+					}
+					if err := s.runSeed(ci); err != nil {
+						errs[w] = err
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if stop.Load() {
+		return nil // stopped by the consumer, not an error
+	}
+	return ctx.Err()
+}

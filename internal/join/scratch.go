@@ -1,0 +1,388 @@
+package join
+
+import (
+	"context"
+
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/kpartite"
+	"repro/internal/prob"
+	"repro/internal/query"
+	"repro/internal/refgraph"
+)
+
+// The enumeration is split into an immutable per-run plan shared by every
+// worker and a per-worker scratch holding all mutable state, so extending a
+// partial match allocates nothing: assignments live in a flat per-query-node
+// array, reference disjointness in a bitset with an undo stack, and the
+// running probability prefix in a per-step array. Which query nodes a step
+// newly assigns, which it merely re-checks, and which query edges it newly
+// covers depend only on the join order — never on the candidates — so they
+// are precomputed once into the plan.
+
+// stepAssign is one path position whose query node is first assigned at this
+// step.
+type stepAssign struct {
+	pos   int32
+	qn    query.NodeID
+	label prob.LabelID
+}
+
+// stepCheck is one path position whose query node was assigned by an earlier
+// step and must only be checked for consistency.
+type stepCheck struct {
+	pos int32
+	qn  query.NodeID
+}
+
+// stepEdge is one query edge (qa < qb) whose probability is first multiplied
+// into the prefix at this step.
+type stepEdge struct {
+	qa, qb query.NodeID
+	la, lb prob.LabelID
+}
+
+// stepPlan is the precomputed shape of one join-order step.
+type stepPlan struct {
+	part   int // partition order[step]
+	joins  []joined
+	assign []stepAssign
+	check  []stepCheck
+	edges  []stepEdge
+}
+
+// plan is the immutable shared state of one enumeration run.
+type plan struct {
+	g     *entity.Graph
+	q     *query.Query
+	dec   *decompose.Decomposition
+	kg    *kpartite.Graph
+	order []int
+	alpha float64
+
+	steps    []stepPlan
+	qEdges   []stepEdge // all query edges, for the exact finalize
+	numQ     int
+	refWords int // words in the reference bitset
+}
+
+func newPlan(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, alpha float64) *plan {
+	p := &plan{g: g, q: q, dec: dec, kg: kg, order: order, alpha: alpha, numQ: q.NumNodes()}
+	covered := make([]bool, p.numQ)
+	coveredEdge := make(map[[2]query.NodeID]bool, q.NumEdges())
+	p.steps = make([]stepPlan, len(order))
+	for s, b := range order {
+		sp := &p.steps[s]
+		sp.part = b
+		for pos := 0; pos < s; pos++ {
+			if len(dec.Preds(order[pos], b)) > 0 {
+				sp.joins = append(sp.joins, joined{order[pos], pos})
+			}
+		}
+		path := &dec.Paths[b]
+		for pos, qn := range path.Nodes {
+			if covered[qn] {
+				sp.check = append(sp.check, stepCheck{pos: int32(pos), qn: qn})
+			} else {
+				covered[qn] = true
+				sp.assign = append(sp.assign, stepAssign{pos: int32(pos), qn: qn, label: q.Label(qn)})
+			}
+		}
+		for pos := 0; pos+1 < len(path.Nodes); pos++ {
+			a, b2 := path.Nodes[pos], path.Nodes[pos+1]
+			if a > b2 {
+				a, b2 = b2, a
+			}
+			key := [2]query.NodeID{a, b2}
+			if coveredEdge[key] {
+				continue
+			}
+			coveredEdge[key] = true
+			sp.edges = append(sp.edges, stepEdge{qa: a, qb: b2, la: q.Label(a), lb: q.Label(b2)})
+		}
+	}
+	for _, e := range q.Edges() {
+		p.qEdges = append(p.qEdges, stepEdge{qa: e[0], qb: e[1], la: q.Label(e[0]), lb: q.Label(e[1])})
+	}
+	// Size the reference bitset by the largest reference id appearing in any
+	// candidate row — the only entities an assignment can contain.
+	maxRef := refgraph.RefID(-1)
+	for part := 0; part < kg.NumPartitions(); part++ {
+		for i := 0; i < kg.NumCandidates(part); i++ {
+			for _, v := range kg.Row(part, i) {
+				for _, r := range g.Refs(v) {
+					if r > maxRef {
+						maxRef = r
+					}
+				}
+			}
+		}
+	}
+	p.refWords = int(maxRef)/64 + 1
+	return p
+}
+
+// scratch is the reusable per-worker state of the depth-first enumeration.
+// All buffers are allocated once; the inner extend/undo loop allocates
+// nothing, and a match's mapping is copied out of the scratch only at yield
+// time.
+type scratch struct {
+	p     *plan
+	ctx   context.Context
+	yield func(Match) bool
+
+	asn      []entity.ID // per query node; -1 = unassigned
+	verts    []int32     // chosen vertex per ordered step
+	prleAt   []float64   // prleAt[s] = label/edge prefix product before step s
+	nodes    []entity.ID // assigned entities, assignment order (for Prn)
+	refWords []uint64    // reference-disjointness bitset
+	refUndo  []refgraph.RefID
+	refMark  []int32   // refUndo length before each step
+	isect    [][]int32 // per-step link-intersection buffers
+	mapping  []entity.ID
+
+	ops     int // per-worker extension counter for ctx-cancellation checks
+	stopped bool
+}
+
+func newScratch(p *plan, ctx context.Context, yield func(Match) bool) *scratch {
+	s := &scratch{
+		p:        p,
+		ctx:      ctx,
+		yield:    yield,
+		asn:      make([]entity.ID, p.numQ),
+		verts:    make([]int32, len(p.order)),
+		prleAt:   make([]float64, len(p.order)+1),
+		nodes:    make([]entity.ID, 0, p.numQ),
+		refWords: make([]uint64, p.refWords),
+		refMark:  make([]int32, len(p.order)),
+		isect:    make([][]int32, len(p.order)),
+		mapping:  make([]entity.ID, p.numQ),
+	}
+	for i := range s.asn {
+		s.asn[i] = -1
+	}
+	s.prleAt[0] = 1
+	return s
+}
+
+// runSeed drives one first-partition candidate depth-first through the whole
+// join order.
+func (s *scratch) runSeed(ci int) error {
+	return s.tryCandidate(0, s.p.order[0], ci)
+}
+
+// tryCandidate extends the current partial with candidate ci of partition b
+// at the given step, recursing into the rest of the order on success and
+// undoing the extension afterwards.
+func (s *scratch) tryCandidate(step, b, ci int) error {
+	s.ops++
+	if s.ops&1023 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !s.apply(step, b, ci) {
+		return nil
+	}
+	err := s.descend(step + 1)
+	s.undo(step)
+	return err
+}
+
+// apply installs candidate ci of partition b into the scratch: consistency
+// checks on already-assigned query nodes, reference-disjointness bits for
+// newly assigned ones, and the incremental label/edge prefix with the
+// partial-probability α prune (Section 5.2.5). On failure every partial
+// effect is rolled back and false is returned.
+func (s *scratch) apply(step, b, ci int) bool {
+	p := s.p
+	sp := &p.steps[step]
+	row := p.kg.Row(b, ci)
+	for _, c := range sp.check {
+		if s.asn[c.qn] != row[c.pos] {
+			return false
+		}
+	}
+	nAsn := 0
+	refMark := len(s.refUndo)
+	pr := s.prleAt[step]
+	ok := true
+assign:
+	for _, a := range sp.assign {
+		v := row[a.pos]
+		for _, r := range p.g.Refs(v) {
+			w, bit := uint(r)>>6, uint64(1)<<(uint(r)&63)
+			if s.refWords[w]&bit != 0 {
+				ok = false
+				break assign
+			}
+			s.refWords[w] |= bit
+			s.refUndo = append(s.refUndo, r)
+		}
+		s.asn[a.qn] = v
+		s.nodes = append(s.nodes, v)
+		nAsn++
+		pr *= p.g.PrLabel(v, a.label)
+	}
+	if ok && pr == 0 {
+		ok = false
+	}
+	if ok {
+		for _, e := range sp.edges {
+			ep, found := p.g.EdgeBetween(s.asn[e.qa], s.asn[e.qb])
+			if !found {
+				ok = false
+				break
+			}
+			pr *= ep.Prob(e.la, e.lb)
+			if pr == 0 {
+				ok = false
+				break
+			}
+		}
+	}
+	// Partial probability upper-bounds the final match probability: prune
+	// extensions already below α.
+	if ok && pr*p.g.Prn(s.nodes)+1e-12 < p.alpha {
+		ok = false
+	}
+	if !ok {
+		s.unwind(sp, nAsn, refMark)
+		return false
+	}
+	s.refMark[step] = int32(refMark)
+	s.prleAt[step+1] = pr
+	s.verts[step] = int32(ci)
+	return true
+}
+
+// unwind rolls back the first nAsn assignments of a step and the reference
+// bits set since refMark.
+func (s *scratch) unwind(sp *stepPlan, nAsn, refMark int) {
+	for _, a := range sp.assign[:nAsn] {
+		s.asn[a.qn] = -1
+	}
+	s.nodes = s.nodes[:len(s.nodes)-nAsn]
+	for _, r := range s.refUndo[refMark:] {
+		s.refWords[uint(r)>>6] &^= 1 << (uint(r) & 63)
+	}
+	s.refUndo = s.refUndo[:refMark]
+}
+
+// undo reverses a successful apply of the given step.
+func (s *scratch) undo(step int) {
+	sp := &s.p.steps[step]
+	s.unwind(sp, len(sp.assign), int(s.refMark[step]))
+}
+
+// descend enumerates the candidates of the given step against the current
+// partial: the intersection of the link lists from every joined chosen
+// vertex, or the whole partition when the step has no join predicates.
+func (s *scratch) descend(step int) error {
+	p := s.p
+	if step == len(p.order) {
+		s.emit()
+		return nil
+	}
+	sp := &p.steps[step]
+	b := sp.part
+	if len(sp.joins) == 0 {
+		n := p.kg.NumCandidates(b)
+		for ci := 0; ci < n; ci++ {
+			if s.stopped {
+				return nil
+			}
+			if !p.kg.Alive(b, ci) {
+				continue
+			}
+			if err := s.tryCandidate(step, b, ci); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cands := p.kg.Links(sp.joins[0].part, int(s.verts[sp.joins[0].pos]), b)
+	for _, jd := range sp.joins[1:] {
+		if len(cands) == 0 {
+			break
+		}
+		// In-place ping within the step's reusable buffer: the output index
+		// never passes the input index, so intersecting the buffer with a
+		// fresh link list is safe.
+		cands = intersectInto(s.isect[step][:0], cands, p.kg.Links(jd.part, int(s.verts[jd.pos]), b))
+		s.isect[step] = cands[:0]
+	}
+	for _, ci := range cands {
+		if s.stopped {
+			return nil
+		}
+		if !p.kg.Alive(b, int(ci)) {
+			continue
+		}
+		if err := s.tryCandidate(step, b, int(ci)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit finalizes the complete assignment: the exact Pr(M) is recomputed over
+// every query node and edge in fixed query-node order — identical for the
+// sequential and every parallel execution — and the mapping is copied out of
+// the scratch only if the match clears α and is yielded.
+func (s *scratch) emit() {
+	p := s.p
+	for n := 0; n < p.numQ; n++ {
+		v := s.asn[n]
+		if v < 0 {
+			return // uncovered query node (cannot happen with a covering decomposition)
+		}
+		s.mapping[n] = v
+	}
+	prle := 1.0
+	for n := 0; n < p.numQ; n++ {
+		prle *= p.g.PrLabel(s.mapping[n], p.q.Label(query.NodeID(n)))
+		if prle == 0 {
+			return
+		}
+	}
+	for _, e := range p.qEdges {
+		ep, ok := p.g.EdgeBetween(s.mapping[e.qa], s.mapping[e.qb])
+		if !ok {
+			return
+		}
+		prle *= ep.Prob(e.la, e.lb)
+		if prle == 0 {
+			return
+		}
+	}
+	prn := p.g.Prn(s.mapping)
+	if prle*prn+1e-12 < p.alpha {
+		return
+	}
+	m := Match{Mapping: append([]entity.ID(nil), s.mapping...), Prle: prle, Prn: prn}
+	if !s.yield(m) {
+		s.stopped = true
+	}
+}
+
+// intersectInto appends the sorted intersection of a and b to dst and
+// returns it. dst may share a's backing array as long as it starts at or
+// before a (the write index never passes the read index).
+func intersectInto(dst, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}

@@ -43,18 +43,20 @@ func NewExplicit(parts [][]VertexSpec, joined [][2]int, links []LinkSpec, alpha 
 	}
 	kg := &Graph{dec: dec, alpha: alpha}
 	kg.parts = make([]*partition, k)
-	kg.links = make([][][][]int32, k)
+	kg.links = make([][]linkSet, k)
+	kg.joined = make([][]int, k)
 	sets := make([]candidates.Set, k)
 	for p := 0; p < k; p++ {
 		n := len(parts[p])
 		sets[p] = candidates.Set{Path: &dec.Paths[p], Cands: make([]candidates.Candidate, n)}
 		part := &partition{
 			set:    &sets[p],
+			n:      n,
+			plen:   0,
 			alive:  make([]bool, n),
 			nAlive: n,
 			w1:     make([]float64, n),
 			w2:     make([]float64, n),
-			vec:    make([][]float64, n),
 		}
 		for i, vs := range parts[p] {
 			part.alive[i] = true
@@ -62,34 +64,41 @@ func NewExplicit(parts [][]VertexSpec, joined [][2]int, links []LinkSpec, alpha 
 			part.w2[i] = vs.W2
 		}
 		kg.parts[p] = part
-		kg.links[p] = make([][][]int32, k)
+		kg.links[p] = make([]linkSet, k)
+		kg.joined[p] = dec.Joined(p)
 	}
-	for _, j := range joined {
-		a, b := j[0], j[1]
-		kg.links[a][b] = make([][]int32, len(parts[a]))
-		kg.links[b][a] = make([][]int32, len(parts[b]))
-	}
+	perPair := make(map[[2]int][][2]int32)
 	for _, l := range links {
 		if l.PartA < 0 || l.PartA >= k || l.PartB < 0 || l.PartB >= k {
 			return nil, fmt.Errorf("kpartite: bad link %+v", l)
 		}
-		if kg.links[l.PartA][l.PartB] == nil {
+		a, b := l.PartA, l.PartB
+		ia, ib := int32(l.IndexA), int32(l.IndexB)
+		if a > b {
+			a, b, ia, ib = b, a, ib, ia
+		}
+		if _, ok := dec.Joins[[2]int{a, b}]; !ok {
 			return nil, fmt.Errorf("kpartite: link %+v between non-joined partitions", l)
 		}
-		kg.links[l.PartA][l.PartB][l.IndexA] = append(kg.links[l.PartA][l.PartB][l.IndexA], int32(l.IndexB))
-		kg.links[l.PartB][l.PartA][l.IndexB] = append(kg.links[l.PartB][l.PartA][l.IndexB], int32(l.IndexA))
+		perPair[[2]int{a, b}] = append(perPair[[2]int{a, b}], [2]int32{ia, ib})
+	}
+	for pair := range dec.Joins {
+		a, b := pair[0], pair[1]
+		kg.links[a][b], kg.links[b][a] = buildCSR(kg.parts[a].n, kg.parts[b].n, perPair[pair])
 	}
 	return kg, nil
 }
 
 // Vector returns a copy of the current perception vector of vertex i in
-// partition p (nil before reduction).
+// partition p (nil before reduction, or when the vertex was already dead
+// when the vectors were initialized).
 func (kg *Graph) Vector(p, i int) []float64 {
-	v := kg.parts[p].vec[i]
-	if v == nil {
+	part := kg.parts[p]
+	if !kg.vecReady || !part.vecSet[i] {
 		return nil
 	}
-	out := make([]float64, len(v))
-	copy(out, v)
+	k := len(kg.parts)
+	out := make([]float64, k)
+	copy(out, part.vec[i*k:(i+1)*k])
 	return out
 }

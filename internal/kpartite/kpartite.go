@@ -3,6 +3,15 @@
 // candidate path match, links between join-candidates), and the joint search
 // space reduction that interleaves reduction by structure with reduction by
 // upperbounds (perception-vector message passing) until fixpoint.
+//
+// The graph is stored in flat arena-backed arrays so the reduction and the
+// downstream join enumeration walk contiguous memory: candidate rows live in
+// one entity-id array per partition (row-major, path-length stride), links
+// are CSR adjacency (offsets into one shared int32 edge pool per partition
+// pair), and perception vectors are one flat float64 array per partition
+// with a double buffer for the bulk-synchronous message-passing rounds.
+// After Build/Reduce the graph is immutable and safe for any number of
+// concurrent readers.
 package kpartite
 
 import (
@@ -26,18 +35,49 @@ type Graph struct {
 	alpha float64
 
 	parts []*partition
-	// links[p][j] is nil unless j ∈ J(p); otherwise links[p][j][i] lists the
-	// vertices of partition j linked to vertex i of partition p, ascending.
-	links [][][][]int32
+	// links[p][j] is the CSR adjacency from partition p into partition j;
+	// links[p][j].offs is nil unless j ∈ J(p).
+	links [][]linkSet
+	// joined[p] caches dec.Joined(p) so the reduction fixpoint does not
+	// recompute it every round.
+	joined [][]int
+	// vecReady reports that perception vectors were initialized by Reduce.
+	vecReady bool
+}
+
+// linkSet is one direction of a partition pair's links in CSR form: the
+// vertices of the target partition linked to vertex i are
+// pool[offs[i]:offs[i+1]], ascending.
+type linkSet struct {
+	offs []int32
+	pool []int32
+}
+
+func (ls *linkSet) row(i int) []int32 {
+	if ls.offs == nil {
+		return nil
+	}
+	return ls.pool[ls.offs[i]:ls.offs[i+1]]
 }
 
 type partition struct {
-	set    *candidates.Set
+	set  *candidates.Set
+	n    int // number of candidate vertices
+	plen int // nodes per candidate row
+	// nodes holds the candidate rows row-major: row i is
+	// nodes[i*plen : (i+1)*plen].
+	nodes  []entity.ID
 	alive  []bool
 	nAlive int
 	w1     []float64
 	w2     []float64
-	vec    [][]float64 // perception vectors, one entry per partition
+	// vec / nextVec are the flat perception vectors (n rows of k entries,
+	// row-major); nextVec is the write buffer of the current BSP round and
+	// the two are swapped at each round barrier. vecSet[i] records whether
+	// vertex i was alive when the vectors were initialized.
+	vec     []float64
+	nextVec []float64
+	vecSet  []bool
 }
 
 // Stats reports the reduction behaviour (Figures 7(e) and 7(f)).
@@ -62,32 +102,37 @@ func Build(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.
 	k := len(sets)
 	kg := &Graph{g: g, q: q, dec: dec, alpha: alpha}
 	kg.parts = make([]*partition, k)
-	kg.links = make([][][][]int32, k)
+	kg.links = make([][]linkSet, k)
+	kg.joined = make([][]int, k)
 	for p := 0; p < k; p++ {
 		n := len(sets[p].Cands)
+		plen := len(sets[p].Path.Nodes)
 		part := &partition{
 			set:    &sets[p],
+			n:      n,
+			plen:   plen,
+			nodes:  make([]entity.ID, n*plen),
 			alive:  make([]bool, n),
 			nAlive: n,
 			w1:     make([]float64, n),
 			w2:     make([]float64, n),
-			vec:    make([][]float64, n),
 		}
-		for i := 0; i < n; i++ {
+		for i, c := range sets[p].Cands {
+			copy(part.nodes[i*plen:(i+1)*plen], c.Nodes)
 			part.alive[i] = true
 		}
 		kg.parts[p] = part
-		kg.links[p] = make([][][]int32, k)
+		kg.links[p] = make([]linkSet, k)
+		kg.joined[p] = dec.Joined(p)
 	}
 	kg.computeWeights()
 
+	be := newBuildEval(g, q, dec, alpha)
 	for pair := range dec.Joins {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := kg.linkPair(pair[0], pair[1]); err != nil {
-			return nil, err
-		}
+		kg.linkPair(be, pair[0], pair[1])
 	}
 	return kg, nil
 }
@@ -130,133 +175,244 @@ func edgeKey(a, b query.NodeID) [2]query.NodeID {
 	return [2]query.NodeID{a, b}
 }
 
+// buildEval is the reusable scratch state for the per-pair joinability test:
+// a flat union assignment keyed by query node, a reference bitset with an
+// undo list, and the per-pair union node/edge shapes, so evaluating one
+// candidate pair allocates nothing.
+type buildEval struct {
+	g     *entity.Graph
+	q     *query.Query
+	dec   *decompose.Decomposition
+	alpha float64
+
+	asn      []entity.ID // per query node; -1 = unassigned
+	refWords []uint64
+	refUndo  []refgraph.RefID
+	nodesBuf []entity.ID
+
+	// Per-pair shape, rebuilt by setPair.
+	unionNodes []query.NodeID
+	unionEdges [][2]query.NodeID
+}
+
+func newBuildEval(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, alpha float64) *buildEval {
+	be := &buildEval{g: g, q: q, dec: dec, alpha: alpha}
+	be.asn = make([]entity.ID, q.NumNodes())
+	for i := range be.asn {
+		be.asn[i] = -1
+	}
+	maxRef := refgraph.RefID(-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, r := range g.Refs(entity.ID(v)) {
+			if r > maxRef {
+				maxRef = r
+			}
+		}
+	}
+	be.refWords = make([]uint64, int(maxRef)/64+1)
+	return be
+}
+
+// setPair precomputes the union query-node list and the deduplicated union
+// edge list of paths pa and pb — these depend only on the pair, not on the
+// candidates.
+func (be *buildEval) setPair(pa, pb *decompose.Path) {
+	be.unionNodes = be.unionNodes[:0]
+	be.unionEdges = be.unionEdges[:0]
+	for _, qn := range pa.Nodes {
+		be.unionNodes = append(be.unionNodes, qn)
+	}
+	for _, qn := range pb.Nodes {
+		dup := false
+		for _, on := range pa.Nodes {
+			if on == qn {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			be.unionNodes = append(be.unionNodes, qn)
+		}
+	}
+	addEdges := func(p *decompose.Path) {
+		for pos := 0; pos+1 < len(p.Nodes); pos++ {
+			key := edgeKey(p.Nodes[pos], p.Nodes[pos+1])
+			dup := false
+			for _, e := range be.unionEdges {
+				if e == key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				be.unionEdges = append(be.unionEdges, key)
+			}
+		}
+	}
+	addEdges(pa)
+	addEdges(pb)
+}
+
+// joinable applies the probabilistic and reference-disjointness filters of
+// cn(P1, Pu1, P2): Pr(Pu1 ∘ Pu2) ≥ α and refs(V_Pu1) ∩ refs(V_Pu2) = ∅
+// (shared join nodes excepted). rowA and rowB are the candidate node rows;
+// setPair must have been called for the pair's paths.
+func (be *buildEval) joinable(pa, pb *decompose.Path, rowA, rowB []entity.ID) bool {
+	for pos, qn := range pa.Nodes {
+		be.asn[qn] = rowA[pos]
+	}
+	consistent := true
+	for pos, qn := range pb.Nodes {
+		if v := be.asn[qn]; v >= 0 && v != rowB[pos] {
+			consistent = false // join predicate violated (defensive; table guarantees it)
+			break
+		}
+		be.asn[qn] = rowB[pos]
+	}
+	ok := consistent
+	prle := 1.0
+	be.nodesBuf = be.nodesBuf[:0]
+	if ok {
+		// Reference disjointness over the union assignment; also rejects two
+		// query nodes mapped to the same entity (an entity shares references
+		// with itself), enforcing injectivity.
+		for _, qn := range be.unionNodes {
+			v := be.asn[qn]
+			for _, r := range be.g.Refs(v) {
+				w, bit := uint(r)>>6, uint64(1)<<(uint(r)&63)
+				if be.refWords[w]&bit != 0 {
+					ok = false
+					break
+				}
+				be.refWords[w] |= bit
+				be.refUndo = append(be.refUndo, r)
+			}
+			if !ok {
+				break
+			}
+			be.nodesBuf = append(be.nodesBuf, v)
+			prle *= be.g.PrLabel(v, be.q.Label(qn))
+		}
+	}
+	if ok && prle > 0 {
+		for _, key := range be.unionEdges {
+			ep, found := be.g.EdgeBetween(be.asn[key[0]], be.asn[key[1]])
+			if !found {
+				prle = 0
+				break
+			}
+			prle *= ep.Prob(be.q.Label(key[0]), be.q.Label(key[1]))
+			if prle == 0 {
+				break
+			}
+		}
+	}
+	res := ok && prle*be.g.Prn(be.nodesBuf)+1e-12 >= be.alpha
+	// Undo: reset assignment and reference bits.
+	for _, qn := range be.unionNodes {
+		be.asn[qn] = -1
+	}
+	for _, r := range be.refUndo {
+		be.refWords[uint(r)>>6] &^= 1 << (uint(r) & 63)
+	}
+	be.refUndo = be.refUndo[:0]
+	return res
+}
+
 // linkPair builds the links between partitions a and b via a lookup table
-// T(b, a) keyed by b's join-position node tuples.
-func (kg *Graph) linkPair(a, b int) error {
+// T(b, a) keyed by b's join-position node tuples, packing the surviving
+// pairs into CSR adjacency for both directions.
+func (kg *Graph) linkPair(be *buildEval, a, b int) {
 	preds := kg.dec.Preds(a, b)
+	pa, pb := kg.parts[a], kg.parts[b]
+	be.setPair(pa.set.Path, pb.set.Path)
+
 	// Table over partition b keyed by its join-position nodes.
 	table := make(map[string][]int32)
 	keyBuf := make([]byte, 0, len(preds)*4)
-	for i, c := range kg.parts[b].set.Cands {
+	for j := 0; j < pb.n; j++ {
+		row := pb.nodes[j*pb.plen : (j+1)*pb.plen]
 		keyBuf = keyBuf[:0]
 		for _, pr := range preds {
-			keyBuf = appendID(keyBuf, c.Nodes[pr.PosB])
+			keyBuf = appendID(keyBuf, row[pr.PosB])
 		}
-		table[string(keyBuf)] = append(table[string(keyBuf)], int32(i))
+		table[string(keyBuf)] = append(table[string(keyBuf)], int32(j))
 	}
 
-	la := make([][]int32, len(kg.parts[a].set.Cands))
-	lb := make([][]int32, len(kg.parts[b].set.Cands))
-	for i, c := range kg.parts[a].set.Cands {
+	var pairs [][2]int32
+	for i := 0; i < pa.n; i++ {
+		rowA := pa.nodes[i*pa.plen : (i+1)*pa.plen]
 		keyBuf = keyBuf[:0]
 		for _, pr := range preds {
-			keyBuf = appendID(keyBuf, c.Nodes[pr.PosA])
+			keyBuf = appendID(keyBuf, rowA[pr.PosA])
 		}
 		for _, j := range table[string(keyBuf)] {
-			if !kg.joinable(a, i, b, int(j)) {
-				continue
+			rowB := pb.nodes[int(j)*pb.plen : (int(j)+1)*pb.plen]
+			if be.joinable(pa.set.Path, pb.set.Path, rowA, rowB) {
+				pairs = append(pairs, [2]int32{int32(i), j})
 			}
-			la[i] = append(la[i], j)
-			lb[j] = append(lb[j], int32(i))
 		}
 	}
-	for _, l := range la {
-		sort.Slice(l, func(x, y int) bool { return l[x] < l[y] })
+	kg.links[a][b], kg.links[b][a] = buildCSR(pa.n, pb.n, pairs)
+}
+
+// buildCSR packs (i, j) link pairs into the two CSR directions with
+// ascending rows.
+func buildCSR(na, nb int, pairs [][2]int32) (ab, ba linkSet) {
+	ab = linkSet{offs: make([]int32, na+1), pool: make([]int32, len(pairs))}
+	ba = linkSet{offs: make([]int32, nb+1), pool: make([]int32, len(pairs))}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x][0] != pairs[y][0] {
+			return pairs[x][0] < pairs[y][0]
+		}
+		return pairs[x][1] < pairs[y][1]
+	})
+	for _, pr := range pairs {
+		ab.offs[pr[0]+1]++
+		ba.offs[pr[1]+1]++
 	}
-	for _, l := range lb {
-		sort.Slice(l, func(x, y int) bool { return l[x] < l[y] })
+	for i := 0; i < na; i++ {
+		ab.offs[i+1] += ab.offs[i]
 	}
-	kg.links[a][b] = la
-	kg.links[b][a] = lb
-	return nil
+	for j := 0; j < nb; j++ {
+		ba.offs[j+1] += ba.offs[j]
+	}
+	for _, pr := range pairs { // i-major, j ascending → ab rows in order
+		ab.pool[ab.offs[pr[0]]] = pr[1]
+		ab.offs[pr[0]]++
+	}
+	// Restore ab offsets (they were advanced while filling).
+	for i := na; i > 0; i-- {
+		ab.offs[i] = ab.offs[i-1]
+	}
+	ab.offs[0] = 0
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x][1] != pairs[y][1] {
+			return pairs[x][1] < pairs[y][1]
+		}
+		return pairs[x][0] < pairs[y][0]
+	})
+	for _, pr := range pairs {
+		ba.pool[ba.offs[pr[1]]] = pr[0]
+		ba.offs[pr[1]]++
+	}
+	for j := nb; j > 0; j-- {
+		ba.offs[j] = ba.offs[j-1]
+	}
+	ba.offs[0] = 0
+	return ab, ba
 }
 
 func appendID(b []byte, id entity.ID) []byte {
 	return append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 }
 
-// joinable applies the probabilistic and reference-disjointness filters of
-// cn(P1, Pu1, P2): Pr(Pu1 ∘ Pu2) ≥ α and refs(V_Pu1) ∩ refs(V_Pu2) = ∅
-// (shared join nodes excepted).
-func (kg *Graph) joinable(a, i, b, j int) bool {
-	ca := kg.parts[a].set.Cands[i]
-	cb := kg.parts[b].set.Cands[j]
-	pa := kg.parts[a].set.Path
-	pb := kg.parts[b].set.Path
-
-	// Union assignment keyed by query node.
-	asn := make(map[query.NodeID]entity.ID, len(pa.Nodes)+len(pb.Nodes))
-	for pos, qn := range pa.Nodes {
-		asn[qn] = ca.Nodes[pos]
-	}
-	for pos, qn := range pb.Nodes {
-		if v, ok := asn[qn]; ok {
-			if v != cb.Nodes[pos] {
-				return false // join predicate violated (defensive; table guarantees it)
-			}
-			continue
-		}
-		asn[qn] = cb.Nodes[pos]
-	}
-	if !refsDisjoint(kg.g, asn) {
-		return false
-	}
-	return combinedPr(kg.g, kg.q, asn, pa, pb)+1e-12 >= kg.alpha
-}
-
-// refsDisjoint checks pairwise reference disjointness over an assignment;
-// it also rejects two query nodes mapped to the same entity (an entity
-// shares references with itself), enforcing injectivity.
-func refsDisjoint(g *entity.Graph, asn map[query.NodeID]entity.ID) bool {
-	seen := make(map[refgraph.RefID]struct{}, len(asn)*2)
-	for _, v := range asn {
-		for _, r := range g.Refs(v) {
-			if _, dup := seen[r]; dup {
-				return false
-			}
-			seen[r] = struct{}{}
-		}
-	}
-	return true
-}
-
-// combinedPr computes Pr(Pu1 ∘ Pu2): the label/edge product over the union
-// subgraph times the identity marginal over the union node set.
-func combinedPr(g *entity.Graph, q *query.Query, asn map[query.NodeID]entity.ID, paths ...*decompose.Path) float64 {
-	prle := 1.0
-	for qn, v := range asn {
-		prle *= g.PrLabel(v, q.Label(qn))
-		if prle == 0 {
-			return 0
-		}
-	}
-	seenEdges := make(map[[2]query.NodeID]struct{}, 8)
-	nodes := make([]entity.ID, 0, len(asn))
-	for _, v := range asn {
-		nodes = append(nodes, v)
-	}
-	for _, p := range paths {
-		for pos := 0; pos+1 < len(p.Nodes); pos++ {
-			key := edgeKey(p.Nodes[pos], p.Nodes[pos+1])
-			if _, dup := seenEdges[key]; dup {
-				continue
-			}
-			seenEdges[key] = struct{}{}
-			ep, ok := g.EdgeBetween(asn[key[0]], asn[key[1]])
-			if !ok {
-				return 0
-			}
-			prle *= ep.Prob(q.Label(key[0]), q.Label(key[1]))
-			if prle == 0 {
-				return 0
-			}
-		}
-	}
-	return prle * g.Prn(nodes)
-}
-
 // NumPartitions returns k.
 func (kg *Graph) NumPartitions() int { return len(kg.parts) }
+
+// NumCandidates returns the number of candidate vertices (alive or dead) in
+// partition p.
+func (kg *Graph) NumCandidates(p int) int { return kg.parts[p].n }
 
 // AliveCount returns the number of surviving vertices in partition p.
 func (kg *Graph) AliveCount(p int) int { return kg.parts[p].nAlive }
@@ -267,18 +423,25 @@ func (kg *Graph) Alive(p, i int) bool { return kg.parts[p].alive[i] }
 // Candidate returns candidate i of partition p.
 func (kg *Graph) Candidate(p, i int) candidates.Candidate { return kg.parts[p].set.Cands[i] }
 
+// Row returns the entity nodes of candidate i of partition p, aligned with
+// the partition path's positions — a view into the flat candidate arena
+// that must not be modified.
+func (kg *Graph) Row(p, i int) []entity.ID {
+	part := kg.parts[p]
+	return part.nodes[i*part.plen : (i+1)*part.plen]
+}
+
 // Links returns the vertices of partition j linked to vertex i of partition
-// p (including dead ones; filter with Alive). Nil when j ∉ J(p).
+// p (including dead ones; filter with Alive), ascending. Nil when j ∉ J(p).
+// The returned slice is a view into the shared edge pool and must not be
+// modified.
 func (kg *Graph) Links(p, i, j int) []int32 {
-	if kg.links[p][j] == nil {
-		return nil
-	}
-	return kg.links[p][j][i]
+	return kg.links[p][j].row(i)
 }
 
 // VertexExists reports whether partition p has a vertex i (alive or dead).
 func (kg *Graph) VertexExists(p, i int) bool {
-	return i >= 0 && i < len(kg.parts[p].alive)
+	return i >= 0 && i < kg.parts[p].n
 }
 
 // AliveVertices returns the indices of all surviving vertices in partition
@@ -324,21 +487,18 @@ func (kg *Graph) Reduce(ctx context.Context, workers int) (Stats, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	st := Stats{SSBefore: kg.SearchSpace()}
-	for _, part := range kg.parts {
-		for i := range part.vec {
-			part.vec[i] = nil
-		}
-	}
+	kg.vecReady = false
 	kg.reduceStructure()
 	st.SSAfterStructure = kg.SearchSpace()
 
 	kg.initVectors()
+	changedBuf := make([]bool, len(kg.parts))
 	for {
 		if err := ctx.Err(); err != nil {
 			return st, err
 		}
 		st.Rounds++
-		changed := kg.passUpperbounds(workers)
+		changed := kg.passUpperbounds(workers, changedBuf)
 		killed := kg.pruneByBound()
 		if killed > 0 {
 			kg.reduceStructure()
@@ -353,10 +513,8 @@ func (kg *Graph) Reduce(ctx context.Context, workers int) (Stats, error) {
 	st.SSAfterUpperbound = kg.SearchSpace()
 	for p := range kg.parts {
 		for j := range kg.links[p] {
-			if kg.links[p][j] != nil {
-				for i := range kg.links[p][j] {
-					st.LinksBuilt += len(kg.links[p][j][i])
-				}
+			if kg.links[p][j].offs != nil {
+				st.LinksBuilt += len(kg.links[p][j].pool)
 			}
 		}
 	}
@@ -380,7 +538,7 @@ func (kg *Graph) reduceStructure() {
 	type vref struct{ p, i int }
 	var work []vref
 	for p, part := range kg.parts {
-		req := kg.dec.Joined(p)
+		req := kg.joined[p]
 		for i := range part.alive {
 			if part.alive[i] && !kg.hasAllLinks(p, i, req) {
 				part.alive[i] = false
@@ -393,12 +551,13 @@ func (kg *Graph) reduceStructure() {
 		v := work[len(work)-1]
 		work = work[:len(work)-1]
 		// Neighbors of the dead vertex may have lost their last link.
-		for j, lj := range kg.links[v.p] {
-			if lj == nil {
+		for j := range kg.links[v.p] {
+			lj := &kg.links[v.p][j]
+			if lj.offs == nil {
 				continue
 			}
-			reqJ := kg.dec.Joined(j)
-			for _, u := range lj[v.i] {
+			reqJ := kg.joined[j]
+			for _, u := range lj.row(v.i) {
 				if !kg.parts[j].alive[u] {
 					continue
 				}
@@ -415,7 +574,7 @@ func (kg *Graph) reduceStructure() {
 func (kg *Graph) hasAllLinks(p, i int, req []int) bool {
 	for _, j := range req {
 		found := false
-		for _, u := range kg.links[p][j][i] {
+		for _, u := range kg.links[p][j].row(i) {
 			if kg.parts[j].alive[u] {
 				found = true
 				break
@@ -429,31 +588,38 @@ func (kg *Graph) hasAllLinks(p, i int, req []int) bool {
 }
 
 // initVectors sets every alive vertex's perception vector: w1 at its own
-// partition, 1 elsewhere.
+// partition, 1 elsewhere. The flat vector arenas (one live buffer and one
+// BSP write buffer per partition) are allocated here, once per reduction.
 func (kg *Graph) initVectors() {
 	k := len(kg.parts)
 	for p, part := range kg.parts {
-		for i := range part.alive {
+		if len(part.vec) != part.n*k {
+			part.vec = make([]float64, part.n*k)
+			part.nextVec = make([]float64, part.n*k)
+			part.vecSet = make([]bool, part.n)
+		}
+		for i := 0; i < part.n; i++ {
+			part.vecSet[i] = part.alive[i]
 			if !part.alive[i] {
 				continue
 			}
-			vec := make([]float64, k)
-			for q := range vec {
-				vec[q] = 1
+			row := part.vec[i*k : (i+1)*k]
+			for q := range row {
+				row[q] = 1
 			}
-			vec[p] = part.w1[i]
-			part.vec[i] = vec
+			row[p] = part.w1[i]
 		}
 	}
+	kg.vecReady = true
 }
 
 // passUpperbounds performs one bulk-synchronous message-passing round with
 // one worker per partition (bounded by workers), reporting whether any
-// perception entry decreased.
-func (kg *Graph) passUpperbounds(workers int) bool {
+// perception entry decreased. Workers read every partition's live vector
+// buffer and write only their own partition's back buffer; the buffers are
+// swapped at the barrier.
+func (kg *Graph) passUpperbounds(workers int, changed []bool) bool {
 	k := len(kg.parts)
-	updated := make([][][]float64, k)
-	changed := make([]bool, k)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for p := 0; p < k; p++ {
@@ -462,7 +628,7 @@ func (kg *Graph) passUpperbounds(workers int) bool {
 		go func(p int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			updated[p], changed[p] = kg.updatePartition(p)
+			changed[p] = kg.updatePartition(p)
 		}(p)
 	}
 	wg.Wait()
@@ -472,11 +638,7 @@ func (kg *Graph) passUpperbounds(workers int) bool {
 			any = true
 		}
 		part := kg.parts[p]
-		for i, vec := range updated[p] {
-			if vec != nil {
-				part.vec[i] = vec
-			}
-		}
+		part.vec, part.nextVec = part.nextVec, part.vec
 	}
 	return any
 }
@@ -484,33 +646,34 @@ func (kg *Graph) passUpperbounds(workers int) bool {
 // updatePartition computes the next perception vectors for partition p from
 // the current snapshot: entry q becomes min over joined partitions P2 of the
 // max over alive neighbors in P2 of their entry q (monotonically clamped).
-func (kg *Graph) updatePartition(p int) ([][]float64, bool) {
+func (kg *Graph) updatePartition(p int) bool {
 	part := kg.parts[p]
-	req := kg.dec.Joined(p)
+	copy(part.nextVec, part.vec)
+	req := kg.joined[p]
 	if len(req) == 0 {
-		return nil, false
+		return false
 	}
 	k := len(kg.parts)
-	out := make([][]float64, len(part.alive))
 	changed := false
-	for i := range part.alive {
+	for i := 0; i < part.n; i++ {
 		if !part.alive[i] {
 			continue
 		}
-		cur := part.vec[i]
-		var next []float64
+		cur := part.vec[i*k : (i+1)*k]
+		next := part.nextVec[i*k : (i+1)*k]
 		for q := 0; q < k; q++ {
 			if q == p {
 				continue
 			}
 			val := cur[q]
 			for _, j := range req {
+				pj := kg.parts[j]
 				maxN := 0.0
-				for _, u := range kg.links[p][j][i] {
-					if !kg.parts[j].alive[u] {
+				for _, u := range kg.links[p][j].row(i) {
+					if !pj.alive[u] {
 						continue
 					}
-					if vu := kg.parts[j].vec[u][q]; vu > maxN {
+					if vu := pj.vec[int(u)*k+q]; vu > maxN {
 						maxN = vu
 					}
 				}
@@ -519,31 +682,26 @@ func (kg *Graph) updatePartition(p int) ([][]float64, bool) {
 				}
 			}
 			if val < cur[q]-1e-15 {
-				if next == nil {
-					next = append([]float64(nil), cur...)
-				}
 				next[q] = val
+				changed = true
 			}
 		}
-		if next != nil {
-			out[i] = next
-			changed = true
-		}
 	}
-	return out, changed
+	return changed
 }
 
 // pruneByBound kills vertices whose upperbound w2 · ∏ vec falls below α,
 // returning the number killed.
 func (kg *Graph) pruneByBound() int {
 	killed := 0
+	k := len(kg.parts)
 	for _, part := range kg.parts {
-		for i := range part.alive {
+		for i := 0; i < part.n; i++ {
 			if !part.alive[i] {
 				continue
 			}
 			bound := part.w2[i]
-			for _, v := range part.vec[i] {
+			for _, v := range part.vec[i*k : (i+1)*k] {
 				bound *= v
 			}
 			if bound+1e-12 < kg.alpha {

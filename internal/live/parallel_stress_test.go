@@ -1,0 +1,90 @@
+package live
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/join"
+)
+
+// TestConcurrentIngestAndParallelMatch is the parallel-join variant of the
+// ingest stress: every reader streams with Parallelism 4 — so the morsel
+// workers, the fan-in, and the per-view overlay index all run concurrently
+// with /ingest-style mutations and background compaction publishes. Run
+// under -race this is the data-race gate for the parallel match path over
+// live views.
+func TestConcurrentIngestAndParallelMatch(t *testing.T) {
+	d := basePGD(t, 13)
+	opt := testOptions()
+	opt.CompactEvery = 6 // force compactions mid-stress
+	db := createDB(t, d, opt)
+
+	q, err := gen.RandomQuery(rand.New(rand.NewSource(4)), 4, 3, 3)
+	if err != nil {
+		t.Fatalf("RandomQuery: %v", err)
+	}
+	var (
+		stop    atomic.Bool
+		queries atomic.Int64
+		wg      sync.WaitGroup
+	)
+	readers := 3
+	if testing.Short() {
+		readers = 2
+	}
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				// Each iteration pins one immutable view and fans the join
+				// out over 4 morsel workers inside it.
+				_, err := core.MatchStream(context.Background(), db.View(), q,
+					core.Options{Alpha: 0.1, Parallelism: 4},
+					func(join.Match) bool { return true })
+				if err != nil {
+					errs <- err
+					return
+				}
+				queries.Add(1)
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(29))
+	writes := 40
+	if testing.Short() {
+		writes = 15
+	}
+	for i := 0; i < writes; i++ {
+		db.Apply([]Mutation{randomMutation(rng, db.PGDSnapshot())})
+	}
+	// Keep the readers hammering until a background compaction has actually
+	// published — the generation swap under parallel readers is exactly the
+	// moment the test is about.
+	for deadline := time.Now().Add(30 * time.Second); db.Status().Compactions == 0 || db.Status().Compacting; {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("parallel query failed during ingest: %v", err)
+	default:
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no parallel query completed during the stress run")
+	}
+	t.Logf("served %d parallel queries across %d writes and %d compactions",
+		queries.Load(), writes, db.Status().Compactions)
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestMatchParallelismServesIdenticalResults: a server configured with
+// per-request join parallelism answers /match byte-identically to the
+// sequential configuration — the parallel join changes wall clock, never
+// results.
+func TestMatchParallelismServesIdenticalResults(t *testing.T) {
+	req := MatchRequest{Query: motivatingQueryDSL, Alpha: 0.01}
+
+	_, seqTS := testServer(t, Options{Workers: 4, MatchParallelism: 1, CacheEntries: -1})
+	_, parTS := testServer(t, Options{Workers: 4, MatchParallelism: 4, CacheEntries: -1})
+
+	respSeq, bodySeq := postJSON(t, seqTS.URL+"/match", req)
+	respPar, bodyPar := postJSON(t, parTS.URL+"/match", req)
+	if respSeq.StatusCode != http.StatusOK || respPar.StatusCode != http.StatusOK {
+		t.Fatalf("status %d / %d", respSeq.StatusCode, respPar.StatusCode)
+	}
+	var seq, par MatchResponse
+	if err := json.Unmarshal(bodySeq, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyPar, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.NumMatches == 0 {
+		t.Fatal("workload produced no matches")
+	}
+	if len(seq.Matches) != len(par.Matches) {
+		t.Fatalf("parallel served %d matches, sequential %d", len(par.Matches), len(seq.Matches))
+	}
+	for i := range seq.Matches {
+		a, b := seq.Matches[i], par.Matches[i]
+		if a.Pr != b.Pr || a.Prle != b.Prle || a.Prn != b.Prn {
+			t.Fatalf("match %d probabilities differ: %+v vs %+v", i, a, b)
+		}
+		for k := range a.Mapping {
+			if a.Mapping[k] != b.Mapping[k] {
+				t.Fatalf("match %d mapping differs: %v vs %v", i, a.Mapping, b.Mapping)
+			}
+		}
+	}
+}
+
+// TestMatchParallelismCappedByWorkers: the per-request knob cannot exceed
+// the admission-control pool size.
+func TestMatchParallelismCappedByWorkers(t *testing.T) {
+	s, _ := testServer(t, Options{Workers: 2, MatchParallelism: 16})
+	if s.opt.MatchParallelism != 2 {
+		t.Fatalf("MatchParallelism = %d, want clamped to Workers = 2", s.opt.MatchParallelism)
+	}
+	s2, _ := testServer(t, Options{Workers: 2})
+	if s2.opt.MatchParallelism != 1 {
+		t.Fatalf("default MatchParallelism = %d, want 1", s2.opt.MatchParallelism)
+	}
+}

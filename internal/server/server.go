@@ -67,10 +67,18 @@ type Options struct {
 	RequestTimeout time.Duration
 	// DefaultAlpha is used when a request omits alpha (0 = 0.25).
 	DefaultAlpha float64
-	// MatchWorkers is the intra-query parallelism handed to core.Match
-	// (0 = 1; the pool already provides inter-query parallelism, so
-	// oversubscribing cores per request is opt-in).
+	// MatchWorkers is the intra-query stage parallelism handed to core.Match
+	// for candidate pruning and search-space reduction (0 = 1; the pool
+	// already provides inter-query parallelism, so oversubscribing cores per
+	// request is opt-in).
 	MatchWorkers int
+	// MatchParallelism is the per-request join parallelism
+	// (core.Options.Parallelism): how many morsel workers one match
+	// evaluation may fan out to (0 = 1, the sequential join). It is capped
+	// at Workers so a single request can never exceed the CPU budget the
+	// admission-control pool was sized for; under a saturated pool, total
+	// join workers are still bounded by Workers × MatchParallelism.
+	MatchParallelism int
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -93,6 +101,12 @@ func (o *Options) normalize() {
 	}
 	if o.MatchWorkers <= 0 {
 		o.MatchWorkers = 1
+	}
+	if o.MatchParallelism <= 0 {
+		o.MatchParallelism = 1
+	}
+	if o.MatchParallelism > o.Workers {
+		o.MatchParallelism = o.Workers
 	}
 }
 
@@ -514,7 +528,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	clientGone := false
 	n := 0
-	st, matchErr := core.MatchStream(ctx, si.ix, p.q, p.options(s.opt.MatchWorkers), func(m join.Match) bool {
+	st, matchErr := core.MatchStream(ctx, si.ix, p.q, p.options(&s.opt), func(m join.Match) bool {
 		e := matchEntry(m)
 		if err := enc.Encode(&StreamEvent{Match: &e}); err != nil {
 			clientGone = true
@@ -679,13 +693,14 @@ type matchParams struct {
 }
 
 // options maps the parsed request onto the core options for one evaluation.
-func (p *matchParams) options(matchWorkers int) core.Options {
+func (p *matchParams) options(opt *Options) core.Options {
 	return core.Options{
-		Alpha:    p.alpha,
-		Strategy: p.strat,
-		Workers:  matchWorkers,
-		Limit:    p.limit,
-		Order:    p.order,
+		Alpha:       p.alpha,
+		Strategy:    p.strat,
+		Workers:     opt.MatchWorkers,
+		Limit:       p.limit,
+		Order:       p.order,
+		Parallelism: opt.MatchParallelism,
 	}
 }
 
@@ -803,7 +818,7 @@ func (s *Server) compute(ctx context.Context, ix pathindex.Reader, p *matchParam
 	}
 	defer func() { <-s.sem }()
 
-	result, err := core.Match(ctx, ix, p.q, p.options(s.opt.MatchWorkers))
+	result, err := core.Match(ctx, ix, p.q, p.options(&s.opt))
 	if err != nil {
 		return nil, matchError(err)
 	}

@@ -42,6 +42,12 @@
 //		use(m)
 //	}
 //
+// The join enumeration itself is morsel-parallel: MatchOptions.Parallelism
+// (default 0 = GOMAXPROCS) fans the search out over worker goroutines with
+// allocation-free per-worker scratch state, and Match / OrderByProb results
+// are exactly the sequential ones at any parallelism. Set Parallelism: 1
+// when serving many concurrent queries (the server does this by default).
+//
 // # Live ingest
 //
 // The offline artifacts above are immutable; a LiveDB makes the system
@@ -146,8 +152,10 @@ type (
 	// MatchRecord is a full query match with its probability components
 	// (mapping ψ plus Prle and Prn).
 	MatchRecord = join.Match
-	// MatchOptions configures a match run (threshold, strategy, and the
-	// streaming knobs Limit and Order).
+	// MatchOptions configures a match run: threshold, strategy, the
+	// streaming knobs Limit and Order, and Parallelism (morsel-parallel
+	// join execution; 0 = GOMAXPROCS, 1 = sequential — results are
+	// identical either way for Match and OrderByProb streams).
 	MatchOptions = core.Options
 	// MatchResult bundles matches with per-stage statistics.
 	MatchResult = core.Result
@@ -163,7 +171,7 @@ type (
 	// Server is the concurrent HTTP/JSON query-serving front end.
 	Server = server.Server
 	// ServerOptions configures the server (worker pool, result cache,
-	// request timeout).
+	// request timeout, per-request join parallelism).
 	ServerOptions = server.Options
 	// MatchRequest is the JSON body of the server's /match and
 	// /match/stream endpoints.
