@@ -2,9 +2,13 @@
 // configurable scale, printing one paper-style table per figure. See
 // EXPERIMENTS.md for recorded outputs and the paper-vs-measured comparison.
 //
-// -perf instead runs the stream-vs-collect API microbenchmarks and writes a
-// machine-readable BENCH_<date>.json (ns/op, allocs/op, matches/sec) so the
-// serving-path perf trajectory is tracked across PRs.
+// -perf instead runs the stream-vs-collect API microbenchmarks — plus the
+// planner rows: planner-overhead (cost of compiling a plan) and
+// plan-cache-hit / plan-cache-hit-limit1 (executing a pre-compiled plan,
+// i.e. what a server plan-cache hit runs) — and writes a machine-readable
+// BENCH_<date>.json (ns/op, allocs/op, matches/sec) so the serving-path
+// perf trajectory is tracked across PRs. -check additionally gates
+// planner-overhead at <5% of match-collect ns/op.
 //
 // Usage:
 //
@@ -170,7 +174,13 @@ var checkedBenchmarks = map[string]bool{
 	"match-stream":        true,
 	"match-stream-limit1": true,
 	"match-topk10-prob":   true,
+	"plan-cache-hit":      true,
 }
+
+// plannerOverheadBudget caps planner-overhead ns/op as a fraction of
+// match-collect ns/op: planning a query must stay a rounding error next to
+// executing it, or the planner refactor is eating its own lunch.
+const plannerOverheadBudget = 0.05
 
 // allocCheckedBenchmarks are the rows whose allocs/op growth fails the gate:
 // the allocation-free join hot path must stay allocation-free, and steady
@@ -216,12 +226,41 @@ func runCheck(h *harness.Harness, baseline *perfFile, threshold, allocLimit floa
 				row.Name, row.AllocsPerOp, b.AllocsPerOp, 100*aratio, averdict)
 		}
 	}
+	if err := checkPlannerOverhead(rec); err != nil {
+		return err
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark row(s) regressed more than the threshold (ns/op %.0f%%, allocs/op %.0f%%) vs baseline (%s, main=%d)",
 			failed, 100*threshold, 100*allocLimit, baseline.Date, baseline.MainSize)
 	}
 	fmt.Printf("check passed vs baseline %s (ns/op threshold %.0f%%, allocs/op threshold %.0f%%)\n",
 		baseline.Date, 100*threshold, 100*allocLimit)
+	return nil
+}
+
+// checkPlannerOverhead gates planner-overhead against match-collect on the
+// freshly measured rows (no baseline needed: the budget is a ratio within
+// one run, so it is machine-independent).
+func checkPlannerOverhead(rec *perfFile) error {
+	var planner, collect *perfBench
+	for i := range rec.Benchmarks {
+		switch rec.Benchmarks[i].Name {
+		case "planner-overhead":
+			planner = &rec.Benchmarks[i]
+		case "match-collect":
+			collect = &rec.Benchmarks[i]
+		}
+	}
+	if planner == nil || collect == nil || collect.NsPerOp <= 0 {
+		return fmt.Errorf("planner-overhead gate: rows missing from the measurement")
+	}
+	ratio := planner.NsPerOp / collect.NsPerOp
+	if ratio > plannerOverheadBudget {
+		return fmt.Errorf("planner overhead %0.f ns/op is %.1f%% of match-collect (%0.f ns/op); budget is %.0f%%",
+			planner.NsPerOp, 100*ratio, collect.NsPerOp, 100*plannerOverheadBudget)
+	}
+	fmt.Printf("check planner-overhead      %12.0f ns/op = %.2f%% of match-collect (budget %.0f%%) ok\n",
+		planner.NsPerOp, 100*ratio, 100*plannerOverheadBudget)
 	return nil
 }
 
@@ -273,7 +312,7 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 		return nil, fmt.Errorf("perf: no viable query found")
 	}
 
-	// The four gated rows pin Parallelism to 1 so the sequential serving
+	// The gated rows pin Parallelism to 1 so the sequential serving
 	// path is measured identically on every machine; the -pN rows measure
 	// the morsel-parallel join (wall clock scales with cores, so they are
 	// recorded but not gated).
@@ -286,11 +325,28 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 			return len(res.Matches), nil
 		}
 	}
+	// plan-cache-hit executes a pre-compiled plan (what a server plan-cache
+	// hit runs): match-collect minus planner-overhead, measured directly.
+	prepared, err := core.Prepare(ctx, ix, q, core.Options{Alpha: alpha, Parallelism: 1})
+	if err != nil {
+		return nil, fmt.Errorf("prepare: %w", err)
+	}
 	variants := []struct {
 		name string
 		run  func() (matches int, err error)
 	}{
 		{"match-collect", collect(1)},
+		{"planner-overhead", func() (int, error) {
+			_, err := core.Prepare(ctx, ix, q, core.Options{Alpha: alpha, Parallelism: 1})
+			return 0, err
+		}},
+		{"plan-cache-hit", func() (int, error) {
+			res, err := core.MatchPlan(ctx, ix, prepared, core.Options{Alpha: alpha, Parallelism: 1})
+			if err != nil {
+				return 0, err
+			}
+			return len(res.Matches), nil
+		}},
 		{"match-stream", func() (int, error) {
 			st, err := core.MatchStream(ctx, ix, q, core.Options{Alpha: alpha, Parallelism: 1},
 				func(join.Match) bool { return true })
@@ -298,6 +354,14 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 		}},
 		{"match-stream-limit1", func() (int, error) {
 			st, err := core.MatchStream(ctx, ix, q, core.Options{Alpha: alpha, Limit: 1, Parallelism: 1},
+				func(join.Match) bool { return true })
+			return st.Matched, err
+		}},
+		// The same first-match shape on a cached plan: the limit1 pair is
+		// where the plan-cache saving is proportionally largest, since
+		// planning is a fixed cost per request while the join is cut short.
+		{"plan-cache-hit-limit1", func() (int, error) {
+			st, err := core.MatchStreamPlan(ctx, ix, prepared, core.Options{Alpha: alpha, Limit: 1, Parallelism: 1},
 				func(join.Match) bool { return true })
 			return st.Matched, err
 		}},

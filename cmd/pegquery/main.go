@@ -5,10 +5,15 @@
 // turns it into top-N by probability instead), so a hot query pays only for
 // the page it prints.
 //
+// -explain prints the cost-based planner's chosen plan (decomposition,
+// probe-reduction decision, join order, estimated cardinalities, rejected
+// alternatives) as JSON without executing the query.
+//
 // Usage:
 //
 //	pegquery -pgd graph.pgd -dir ./index -query q.txt -alpha 0.25
 //	pegquery -pgd graph.pgd -dir ./index -query q.txt -limit 10 -order prob
+//	pegquery -pgd graph.pgd -dir ./index -query q.txt -explain
 //	echo 'node A l0
 //	node B l1
 //	edge A B' | pegquery -pgd graph.pgd -dir ./index -alpha 0.5
@@ -16,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +47,8 @@ func main() {
 		limit     = flag.Int("limit", 20, "stop after N matches (0 = enumerate all)")
 		order     = flag.String("order", "emit", "emit (as found, lowest latency) or prob (top-N by probability)")
 		stats     = flag.Bool("stats", false, "print per-stage statistics")
+		explain   = flag.Bool("explain", false, "print the query plan as JSON and exit without executing")
+		seed      = flag.Int64("seed", 0, "random-decomposition seed (0 = deterministic default; the plan records the seed used)")
 	)
 	flag.Parse()
 	if *pgdPath == "" || *dir == "" {
@@ -104,12 +112,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *explain {
+		// Plan only: the printed tree is exactly what a subsequent run
+		// executes (and what the server's POST /explain returns).
+		tree, err := peg.Explain(ctx, ix, q, peg.MatchOptions{
+			Alpha: *alpha, Strategy: strat, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tree); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// Stream matches as the join finds them: with -limit the enumeration
 	// stops at the Nth match instead of computing the full set and slicing.
 	fmt.Printf("matches with Pr ≥ %v (query: %d nodes, %d edges):\n",
 		*alpha, q.NumNodes(), q.NumEdges())
 	st, err := peg.MatchStream(ctx, ix, q, peg.MatchOptions{
-		Alpha: *alpha, Strategy: strat, Limit: *limit, Order: ord,
+		Alpha: *alpha, Strategy: strat, Limit: *limit, Order: ord, Seed: *seed,
 	}, func(m peg.MatchRecord) bool {
 		parts := make([]string, len(m.Mapping))
 		for j, v := range m.Mapping {
@@ -132,8 +158,14 @@ func main() {
 		fmt.Printf("  decomposition paths: %d\n", st.NumPaths)
 		fmt.Printf("  search space (log10): path=%.2f context=%.2f structure=%.2f final=%.2f\n",
 			log10(st.SSPath), log10(st.SSContext), log10(st.SSAfterStructure), log10(st.SSFinal))
-		fmt.Printf("  times: decompose=%v candidates=%v build=%v reduce=%v join=%v total=%v\n",
-			st.DecomposeTime, st.CandidateTime, st.BuildTime, st.ReduceTime, st.JoinTime, st.Total)
+		fmt.Printf("  times: plan=%v decompose=%v candidates=%v build=%v reduce=%v join=%v total=%v\n",
+			st.PlanTime, st.DecomposeTime, st.CandidateTime, st.BuildTime, st.ReduceTime, st.JoinTime, st.Total)
+		fmt.Printf("  join order: planned=%v executed=%v (adaptive reorder on observed counts)\n",
+			st.PlannedOrder, st.ExecOrder)
+		for _, sg := range st.Stages {
+			fmt.Printf("  stage %-10s %8dµs est=%.0f obs=%.0f pruned=%d\n",
+				sg.Name, sg.Micros, sg.EstRows, sg.ObsRows, sg.Pruned)
+		}
 	}
 }
 

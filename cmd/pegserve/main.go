@@ -49,6 +49,7 @@ func main() {
 		matchPar = flag.Int("match-parallelism", 1, "join workers per match evaluation (capped at -workers; 1 = sequential join)")
 		queue    = flag.Int("queue", 0, "request queue depth before 503 (0 = 4×workers)")
 		cache    = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		plans    = flag.Int("plan-cache", 256, "plan cache entries (negative disables); repeat queries skip decomposition and planning")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		alpha    = flag.Float64("alpha", 0.25, "default probability threshold α")
 		build    = flag.Bool("build", false, "build the index first if dir has none")
@@ -102,7 +103,7 @@ func main() {
 		st := db.Status()
 		log.Printf("live database: generation %d, %d entities, %d pending mutations",
 			st.Generation, st.Entities, st.Mutations)
-		srv = peg.NewServer(db.View(), serverOptions(*workers, *matchPar, *queue, *cache, *timeout, *alpha))
+		srv = peg.NewServer(db.View(), serverOptions(*workers, *matchPar, *queue, *cache, *plans, *timeout, *alpha))
 		srv.SetLive(db)
 		db.SetPublisher(srv)
 	} else {
@@ -129,7 +130,7 @@ func main() {
 		st := ix.Stats()
 		log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
 			st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
-		srv = peg.NewServer(ix, serverOptions(*workers, *matchPar, *queue, *cache, *timeout, *alpha))
+		srv = peg.NewServer(ix, serverOptions(*workers, *matchPar, *queue, *cache, *plans, *timeout, *alpha))
 	}
 
 	hs := &http.Server{
@@ -189,12 +190,13 @@ func loadPGD(path string) *peg.PGD {
 	return d
 }
 
-func serverOptions(workers, matchPar, queue, cache int, timeout time.Duration, alpha float64) peg.ServerOptions {
+func serverOptions(workers, matchPar, queue, cache, plans int, timeout time.Duration, alpha float64) peg.ServerOptions {
 	return peg.ServerOptions{
 		Workers:          workers,
 		MatchParallelism: matchPar,
 		QueueDepth:       queue,
 		CacheEntries:     cache,
+		PlanCacheEntries: plans,
 		RequestTimeout:   timeout,
 		DefaultAlpha:     alpha,
 	}

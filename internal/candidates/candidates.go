@@ -35,7 +35,9 @@ type Set struct {
 	Initial int // |PIndex(lQ(V_P), α)| before pruning
 }
 
-// Stats reports the search-space progression of Figure 7(e).
+// Stats reports the search-space progression of Figure 7(e) plus the
+// per-path observed counts the executor feeds back into the planner's
+// calibration and adaptive join reorder.
 type Stats struct {
 	// SSPath is the search space after index lookup only (product of
 	// initial candidate counts).
@@ -43,6 +45,11 @@ type Stats struct {
 	// SSContext is the search space after node- and path-level context
 	// pruning.
 	SSContext float64
+	// Initial[i] is the observed |PIndex(lQ(V_Pi), α)| for decomposition
+	// path i — the number the offline histograms only estimated.
+	Initial []int
+	// Kept[i] is the candidate count for path i surviving context pruning.
+	Kept []int
 }
 
 // NodeChecker memoizes the node-level candidacy test cn(n) of Section
@@ -130,7 +137,12 @@ func Find(ctx context.Context, ix pathindex.Reader, q *query.Query, dec *decompo
 	nc := NewNodeChecker(g, ix.Context(), q, alpha)
 
 	sets := make([]Set, len(dec.Paths))
-	stats := Stats{SSPath: 1, SSContext: 1}
+	stats := Stats{
+		SSPath:    1,
+		SSContext: 1,
+		Initial:   make([]int, len(dec.Paths)),
+		Kept:      make([]int, len(dec.Paths)),
+	}
 	for i := range dec.Paths {
 		if err := ctx.Err(); err != nil {
 			return nil, Stats{}, err
@@ -142,6 +154,8 @@ func Find(ctx context.Context, ix pathindex.Reader, q *query.Query, dec *decompo
 		}
 		kept := pruneParallel(g, nc, p, matches, alpha, workers)
 		sets[i] = Set{Path: p, Cands: kept, Initial: len(matches)}
+		stats.Initial[i] = len(matches)
+		stats.Kept[i] = len(kept)
 		stats.SSPath *= float64(len(matches))
 		stats.SSContext *= float64(len(kept))
 	}

@@ -1,35 +1,42 @@
-// Package core orchestrates the online phase of the paper (Section 5.2):
-// query path decomposition, candidate retrieval and context pruning,
-// join-candidate construction, joint search space reduction on the candidate
-// k-partite graph, and final match assembly. It also exposes the paper's
-// evaluation baselines (random decomposition, no search-space reduction) and
-// the per-stage search-space statistics behind Figures 7(e) and 7(f).
+// Package core is the façade over the online phase of the paper (Section
+// 5.2). Since the planner refactor the orchestration itself lives in
+// internal/plan: a cost-based Planner compiles an explicit Plan (query path
+// decomposition mode, probe-reduction on/off, join order — enumerated
+// against the histogram cost model) and a staged Executor runs it with
+// per-stage observability and an adaptive join reorder. core maps the
+// public Options/Strategy surface onto that subsystem, exposes EXPLAIN
+// (Prepare/Explain) and cached-plan execution (MatchStreamPlan/MatchPlan),
+// and keeps the paper's evaluation baselines selectable as constrained
+// points of the plan space.
 package core
 
 import (
-	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"iter"
+	"math"
 	"math/rand"
-	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/decompose"
-	"repro/internal/entity"
 	"repro/internal/join"
 	"repro/internal/kpartite"
 	"repro/internal/pathindex"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
-// Strategy selects the matching variant of Section 6.2.1.
+// Strategy selects the matching variant of Section 6.2.1. Every strategy
+// routes through the planner; the baselines pin a single candidate plan
+// while StrategyOptimized opens the full plan space to the cost model.
 type Strategy int
 
 const (
-	// StrategyOptimized is the full proposed approach.
+	// StrategyOptimized is the full proposed approach: the planner
+	// enumerates decomposition mode × probe-reduction × join order and
+	// picks the cheapest candidate under the (calibrated) cost model.
 	StrategyOptimized Strategy = iota
 	// StrategyRandomDecomp replaces SET COVER with random decomposition and
 	// orders joins by candidate count only.
@@ -52,32 +59,53 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
-// ResultOrder selects how MatchStream emits matches.
-type ResultOrder int
+// Name returns the wire name used by the server API and plan trees.
+func (s Strategy) Name() string {
+	switch s {
+	case StrategyOptimized:
+		return "optimized"
+	case StrategyRandomDecomp:
+		return "random-decomp"
+	case StrategyNoSSReduction:
+		return "no-ss-reduction"
+	}
+	return fmt.Sprintf("strategy-%d", int(s))
+}
+
+// space maps a strategy onto the planner's candidate space.
+func (s Strategy) space() plan.Space {
+	switch s {
+	case StrategyRandomDecomp:
+		return plan.Space{
+			Modes:  []decompose.Mode{decompose.ModeRandom},
+			Reduce: []bool{true},
+			Orders: []join.OrderMode{join.OrderByCardinality},
+		}
+	case StrategyNoSSReduction:
+		return plan.Space{
+			Modes:  []decompose.Mode{decompose.ModeOptimized},
+			Reduce: []bool{false},
+			Orders: []join.OrderMode{join.OrderHeuristic},
+		}
+	default:
+		return plan.FullSpace()
+	}
+}
+
+// ResultOrder selects how MatchStream emits matches (see internal/plan).
+type ResultOrder = plan.ResultOrder
 
 const (
-	// OrderEmit (default) emits matches in the order the join enumeration
-	// discovers them: lowest latency to the first match, and with Limit > 0
-	// the enumeration stops as soon as Limit matches were emitted.
-	OrderEmit ResultOrder = iota
-	// OrderByProb emits matches in decreasing probability (ties broken by
-	// mapping). The join must run to completion before the first emission,
-	// but with Limit > 0 only the top-Limit matches are retained in a
-	// bounded min-heap, so memory stays O(Limit) regardless of the match
-	// count.
-	OrderByProb
+	// OrderEmit (default) emits matches in discovery order.
+	OrderEmit = plan.OrderEmit
+	// OrderByProb emits matches in decreasing probability.
+	OrderByProb = plan.OrderByProb
 )
 
-// String implements fmt.Stringer.
-func (o ResultOrder) String() string {
-	switch o {
-	case OrderEmit:
-		return "emit"
-	case OrderByProb:
-		return "prob"
-	}
-	return fmt.Sprintf("ResultOrder(%d)", int(o))
-}
+// Stats reports per-stage behaviour of one match run, including the
+// executed plan tree, per-stage estimated vs. observed cardinalities and
+// prune counts, and the planned vs. adaptively executed join order.
+type Stats = plan.Stats
 
 // Options configures a match run.
 type Options struct {
@@ -89,7 +117,12 @@ type Options struct {
 	Workers int
 	// MaxLen caps decomposition path length; 0 uses the index's L.
 	MaxLen int
-	// Rand seeds the random decomposition baseline (nil = deterministic).
+	// Seed seeds the random decomposition baseline (0 = deterministic
+	// default). The seed actually used is recorded in the plan tree, so an
+	// EXPLAIN output or ablation run can be replayed exactly.
+	Seed int64
+	// Rand optionally seeds the random decomposition baseline from a
+	// caller-owned stream; the derived seed is still recorded.
 	Rand *rand.Rand
 	// Limit caps the number of emitted matches (0 = unlimited). With
 	// OrderEmit the join enumeration is aborted as soon as Limit matches
@@ -108,42 +141,108 @@ type Options struct {
 	// (and, with Limit, which matches are kept) depends on worker
 	// scheduling when Parallelism > 1.
 	Parallelism int
+	// Calibration, when set, corrects the planner's cardinality estimates
+	// with feedback from earlier executions against the same index and
+	// receives this run's observations. One Calibration belongs to one
+	// index generation (the server keeps one per served index).
+	Calibration *plan.Calibration
 }
 
-// Stats reports per-stage behaviour of one match run.
-type Stats struct {
-	// NumPaths is the decomposition size k.
-	NumPaths int
-	// SSPath, SSContext, SSAfterStructure, SSFinal are the search space
-	// sizes (product of candidate list lengths) after index lookup, after
-	// context pruning, after reduction by structure, and after the full
-	// reduction — the progression of Figure 7(e).
-	SSPath           float64
-	SSContext        float64
-	SSAfterStructure float64
-	SSFinal          float64
-	// ReductionRounds counts upperbound message-passing rounds.
-	ReductionRounds int
-	// Matched counts the matches emitted by this run.
-	Matched int
-	// Truncated reports that the emitted set may be incomplete: the
-	// enumeration was stopped by Limit or by the consumer before it was
-	// exhausted (OrderEmit), or matches beyond the top-Limit were
-	// discarded (OrderByProb). More matches above α may exist.
-	Truncated bool
-	// Per-stage wall clock.
-	DecomposeTime time.Duration
-	CandidateTime time.Duration
-	BuildTime     time.Duration
-	ReduceTime    time.Duration
-	JoinTime      time.Duration
-	Total         time.Duration
+// OptionsError reports an invalid Options field. It is returned by every
+// entry point before any work happens, so a bad request fails fast with a
+// typed error the server maps to HTTP 400 — instead of a late panic or a
+// silently empty result.
+type OptionsError struct {
+	Field  string
+	Reason string
+}
+
+func (e *OptionsError) Error() string {
+	return fmt.Sprintf("core: invalid option %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the options for values no run could make sense of.
+func (o Options) Validate() error {
+	if math.IsNaN(o.Alpha) {
+		return &OptionsError{Field: "Alpha", Reason: "is NaN"}
+	}
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		return &OptionsError{Field: "Alpha", Reason: fmt.Sprintf("%v out of range (0,1]", o.Alpha)}
+	}
+	switch o.Strategy {
+	case StrategyOptimized, StrategyRandomDecomp, StrategyNoSSReduction:
+	default:
+		return &OptionsError{Field: "Strategy", Reason: fmt.Sprintf("unknown strategy %d", int(o.Strategy))}
+	}
+	if o.Workers < 0 {
+		return &OptionsError{Field: "Workers", Reason: fmt.Sprintf("negative worker count %d", o.Workers)}
+	}
+	if o.MaxLen < 0 {
+		return &OptionsError{Field: "MaxLen", Reason: fmt.Sprintf("negative path length %d", o.MaxLen)}
+	}
+	if o.Limit < 0 {
+		return &OptionsError{Field: "Limit", Reason: fmt.Sprintf("negative limit %d", o.Limit)}
+	}
+	switch o.Order {
+	case OrderEmit, OrderByProb:
+	default:
+		return &OptionsError{Field: "Order", Reason: fmt.Sprintf("unknown result order %d", int(o.Order))}
+	}
+	if o.Parallelism < 0 {
+		return &OptionsError{Field: "Parallelism", Reason: fmt.Sprintf("negative parallelism %d", o.Parallelism)}
+	}
+	return nil
+}
+
+// exec maps the run-time knobs onto the executor's options.
+func (o Options) exec() plan.Exec {
+	return plan.Exec{
+		Workers:     o.Workers,
+		Limit:       o.Limit,
+		Order:       o.Order,
+		Parallelism: o.Parallelism,
+	}
 }
 
 // Result is the outcome of a match run.
 type Result struct {
 	Matches []join.Match
 	Stats   Stats
+}
+
+// Prepare runs the planner only: options are validated, the candidate plan
+// space for the strategy is enumerated against the (calibrated) cost model,
+// and the cheapest plan is compiled — decomposition included — without
+// executing anything. The returned plan is immutable; it may be executed
+// any number of times (MatchStreamPlan, MatchPlan), concurrently, which is
+// what the server's plan cache does to make repeat queries skip
+// decomposition and planning entirely.
+func Prepare(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options) (*plan.Plan, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(ix.Graph().Alphabet()); err != nil {
+		return nil, err
+	}
+	planner := plan.NewPlanner(ix, opt.Calibration)
+	return planner.Plan(ctx, q, plan.Options{
+		Alpha:    opt.Alpha,
+		MaxLen:   opt.MaxLen,
+		Strategy: opt.Strategy.Name(),
+		Space:    opt.Strategy.space(),
+		Seed:     opt.Seed,
+		Rand:     opt.Rand,
+	})
+}
+
+// Explain returns the JSON-serializable plan tree the query would execute
+// under — the same tree Stats.Plan reports after an actual run.
+func Explain(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options) (*plan.Tree, error) {
+	pl, err := Prepare(ctx, ix, q, opt)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Tree, nil
 }
 
 // Match answers a probabilistic subgraph pattern matching query
@@ -162,7 +261,7 @@ func Match(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options
 		return nil, err
 	}
 	if opt.Order == OrderEmit {
-		sortMatches(ms)
+		plan.SortMatches(ms)
 	}
 	return &Result{Matches: ms, Stats: st}, nil
 }
@@ -174,239 +273,65 @@ func Match(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options
 // remaining search immediately. Returning false from yield stops the stream
 // (not an error). The returned Stats cover whatever part of the run
 // happened; on error the partial results already yielded should be
-// discarded.
+// discarded. It is Prepare followed by MatchStreamPlan.
 func MatchStream(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options, yield func(join.Match) bool) (Stats, error) {
 	start := time.Now()
-	var st Stats
-	if opt.Alpha <= 0 || opt.Alpha > 1 {
-		return st, fmt.Errorf("core: alpha %v out of range (0,1]", opt.Alpha)
+	pl, err := Prepare(ctx, ix, q, opt)
+	if err != nil {
+		return Stats{}, err
 	}
-	if opt.Limit < 0 {
-		return st, fmt.Errorf("core: negative limit %d", opt.Limit)
-	}
-	if opt.Parallelism < 0 {
-		return st, fmt.Errorf("core: negative parallelism %d", opt.Parallelism)
-	}
-	switch opt.Order {
-	case OrderEmit, OrderByProb:
-	default:
-		return st, fmt.Errorf("core: unknown result order %d", int(opt.Order))
-	}
-	g := ix.Graph()
-	if err := q.Validate(g.Alphabet()); err != nil {
-		return st, err
-	}
-	maxLen := opt.MaxLen
-	if maxLen <= 0 {
-		maxLen = ix.MaxLen()
-	}
-
-	// 1. Path decomposition (Section 5.2.1).
-	t0 := time.Now()
-	mode := decompose.ModeOptimized
-	if opt.Strategy == StrategyRandomDecomp {
-		mode = decompose.ModeRandom
-	}
-	dec, err := decompose.Decompose(q, ix, decompose.Options{
-		MaxLen: maxLen,
-		Alpha:  opt.Alpha,
-		Mode:   mode,
-		Rand:   opt.Rand,
-	})
+	st, err := MatchStreamPlan(ctx, ix, pl, opt, yield)
 	if err != nil {
 		return st, err
 	}
-	st.NumPaths = len(dec.Paths)
-	st.DecomposeTime = time.Since(t0)
-
-	// 2. Path candidates with context pruning (Section 5.2.2).
-	t0 = time.Now()
-	sets, cstats, err := candidates.Find(ctx, ix, q, dec, opt.Alpha, opt.Workers)
-	if err != nil {
-		return st, err
-	}
-	st.SSPath = cstats.SSPath
-	st.SSContext = cstats.SSContext
-	st.CandidateTime = time.Since(t0)
-
-	// 3. Join-candidates / k-partite graph (Section 5.2.3).
-	t0 = time.Now()
-	kg, err := kpartite.Build(ctx, g, q, dec, sets, opt.Alpha)
-	if err != nil {
-		return st, err
-	}
-	st.BuildTime = time.Since(t0)
-
-	// 4. Joint search space reduction (Section 5.2.4).
-	t0 = time.Now()
-	switch opt.Strategy {
-	case StrategyNoSSReduction:
-		st.SSAfterStructure = kg.SearchSpace()
-		st.SSFinal = st.SSAfterStructure
-	default:
-		rst, err := kg.Reduce(ctx, opt.Workers)
-		if err != nil {
-			return st, err
-		}
-		st.SSAfterStructure = rst.SSAfterStructure
-		st.SSFinal = rst.SSAfterUpperbound
-		st.ReductionRounds = rst.Rounds
-	}
-	st.ReduceTime = time.Since(t0)
-
-	// 5. Final match generation (Section 5.2.5), streamed.
-	t0 = time.Now()
-	orderMode := join.OrderHeuristic
-	if opt.Strategy == StrategyRandomDecomp {
-		orderMode = join.OrderByCardinality
-	}
-	order := join.Order(dec, orderMode)
-	par := opt.Parallelism
-	if par == 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	switch {
-	case opt.Order == OrderByProb && par > 1:
-		err = streamTopKParallel(ctx, g, q, dec, kg, order, opt, par, yield, &st)
-	case opt.Order == OrderByProb:
-		err = streamTopK(ctx, g, q, dec, kg, order, opt, yield, &st)
-	case par > 1:
-		err = streamEmitParallel(ctx, g, q, dec, kg, order, opt, par, yield, &st)
-	default:
-		err = streamEmit(ctx, g, q, dec, kg, order, opt, yield, &st)
-	}
-	if err != nil {
-		return st, err
-	}
-	st.JoinTime = time.Since(t0)
+	// Planning ran in this call, so its cost belongs to this run's stats; a
+	// cached-plan execution (MatchStreamPlan directly) reports zero here.
+	st.PlanTime = pl.PlanTime
+	st.DecomposeTime = pl.DecomposeTime
+	st.Stages = append([]plan.StageStats{{
+		Name:   "plan",
+		Micros: pl.PlanTime.Microseconds(),
+	}}, st.Stages...)
 	st.Total = time.Since(start)
 	return st, nil
 }
 
-// streamEmit drives the join enumeration straight into yield, stopping the
-// enumeration (not just the emission) when Limit is reached or the consumer
-// returns false.
-func streamEmit(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, yield func(join.Match) bool, st *Stats) error {
-	return join.FindMatchesFunc(ctx, g, q, dec, kg, order, opt.Alpha, func(m join.Match) bool {
-		st.Matched++
-		if !yield(m) {
-			st.Truncated = true
-			return false
-		}
-		if opt.Limit > 0 && st.Matched >= opt.Limit {
-			st.Truncated = true
-			return false
-		}
-		return true
-	})
+// MatchStreamPlan executes a previously prepared plan, skipping query
+// validation, decomposition, and planning — the plan-cache hot path. The
+// streaming contract is exactly MatchStream's. Only the run-time knobs of
+// opt apply (Workers, Limit, Order, Parallelism, Calibration); Alpha and
+// Strategy were compiled into the plan, so a disagreeing value is rejected
+// rather than silently ignored — a plan prepared at α=0.25 cannot be
+// mistaken for a run at α=0.9.
+func MatchStreamPlan(ctx context.Context, ix pathindex.Reader, pl *plan.Plan, opt Options, yield func(join.Match) bool) (Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if opt.Alpha != pl.Alpha {
+		return Stats{}, &OptionsError{Field: "Alpha", Reason: fmt.Sprintf("%v differs from the prepared plan's %v", opt.Alpha, pl.Alpha)}
+	}
+	if pl.Tree != nil && opt.Strategy.Name() != pl.Tree.Strategy {
+		return Stats{}, &OptionsError{Field: "Strategy", Reason: fmt.Sprintf("%s differs from the prepared plan's %s", opt.Strategy.Name(), pl.Tree.Strategy)}
+	}
+	exec := plan.NewExecutor(ix, opt.Calibration)
+	return exec.Run(ctx, pl, opt.exec(), yield)
 }
 
-// streamTopK runs the join to completion, retaining the Limit best matches
-// under probability order in a bounded min-heap, then emits them in
-// decreasing probability. With Limit == 0 every match is retained and
-// sorted.
-func streamTopK(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, yield func(join.Match) bool, st *Stats) error {
-	top := newTopK(opt.Limit)
-	err := join.FindMatchesFunc(ctx, g, q, dec, kg, order, opt.Alpha, func(m join.Match) bool {
-		top.offer(m)
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	st.Truncated = top.dropped > 0
-	for _, m := range top.sorted() {
-		st.Matched++
-		if !yield(m) {
-			st.Truncated = true
-			break
-		}
-	}
-	return nil
-}
-
-// streamEmitParallel fans the per-worker match streams into one channel so
-// the caller's yield keeps its serial contract: the morsel workers enumerate
-// concurrently, the consumer (this goroutine) emits. Limit or a false yield
-// closes the stop channel, which unblocks every producer send and stops all
-// workers promptly.
-func streamEmitParallel(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, par int, yield func(join.Match) bool, st *Stats) error {
-	ch := make(chan join.Match, 4*par)
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	var jerr error
-	go func() {
-		defer close(done)
-		jerr = join.FindMatchesParallel(ctx, g, q, dec, kg, order, opt.Alpha, par, func(_ int, m join.Match) bool {
-			select {
-			case ch <- m:
-				return true
-			case <-stop:
-				return false
-			}
-		})
-		close(ch)
-	}()
-	stopped := false
-	for m := range ch {
-		st.Matched++
-		keep := yield(m)
-		if !keep || (opt.Limit > 0 && st.Matched >= opt.Limit) {
-			st.Truncated = true
-			stopped = true
-			close(stop)
-			break
-		}
-	}
-	<-done
-	if stopped {
-		return nil
-	}
-	// The producers may have finished (and reported no error) before a
-	// cancellation that raced with the last buffered matches being drained;
-	// re-check so a cancel-from-yield surfaces as ctx.Err() exactly like the
-	// sequential path's tail check.
-	if jerr == nil {
-		jerr = ctx.Err()
-	}
-	return jerr
-}
-
-// streamTopKParallel runs the parallel join to completion with one bounded
-// min-heap per worker — no cross-worker synchronization on the hot path —
-// then merges the per-worker heaps and emits the global top-Limit in
-// decreasing probability. Because the enumeration is exhaustive and
-// betterMatch is a total order, the output is byte-identical to the
-// sequential OrderByProb stream.
-func streamTopKParallel(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, kg *kpartite.Graph, order []int, opt Options, par int, yield func(join.Match) bool, st *Stats) error {
-	tops := make([]*topK, par)
-	for i := range tops {
-		tops[i] = newTopK(opt.Limit)
-	}
-	err := join.FindMatchesParallel(ctx, g, q, dec, kg, order, opt.Alpha, par, func(w int, m join.Match) bool {
-		tops[w].offer(m)
+// MatchPlan is the collect-all adapter over MatchStreamPlan, mirroring
+// Match over MatchStream.
+func MatchPlan(ctx context.Context, ix pathindex.Reader, pl *plan.Plan, opt Options) (*Result, error) {
+	var ms []join.Match
+	st, err := MatchStreamPlan(ctx, ix, pl, opt, func(m join.Match) bool {
+		ms = append(ms, m)
 		return true
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	merged := newTopK(opt.Limit)
-	offered := 0
-	for _, t := range tops {
-		offered += len(t.heap) + t.dropped
-		for _, m := range t.heap {
-			merged.offer(m)
-		}
+	if opt.Order == OrderEmit {
+		plan.SortMatches(ms)
 	}
-	st.Truncated = opt.Limit > 0 && offered > opt.Limit
-	for _, m := range merged.sorted() {
-		st.Matched++
-		if !yield(m) {
-			st.Truncated = true
-			break
-		}
-	}
-	return nil
+	return &Result{Matches: ms, Stats: st}, nil
 }
 
 // ReductionStats isolates the joint search-space reduction for the Figure
@@ -473,87 +398,12 @@ func MatchSeq(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Opti
 	}
 }
 
-// betterMatch is the probability total order used by OrderByProb: higher
-// Pr first, equal probabilities broken by mapping so the ranking — and in
-// particular the top-K cut — is fully deterministic.
-func betterMatch(a, b join.Match) bool {
-	pa, pb := a.Pr(), b.Pr()
-	if pa != pb {
-		return pa > pb
+// IsOptionsError reports whether err is an options-validation failure (the
+// caller's request is at fault, not the engine) and returns it.
+func IsOptionsError(err error) (*OptionsError, bool) {
+	var oe *OptionsError
+	if errors.As(err, &oe) {
+		return oe, true
 	}
-	return mappingLess(a.Mapping, b.Mapping)
-}
-
-func mappingLess(a, b []entity.ID) bool {
-	for k := range a {
-		if k >= len(b) {
-			return false
-		}
-		if a[k] != b[k] {
-			return a[k] < b[k]
-		}
-	}
-	return false
-}
-
-// topK retains the best matches under betterMatch. With limit > 0 it is a
-// bounded min-heap whose root is the worst retained match (O(limit) memory,
-// O(log limit) per offer); with limit == 0 it keeps everything.
-type topK struct {
-	limit   int
-	heap    matchHeap
-	dropped int
-}
-
-func newTopK(limit int) *topK { return &topK{limit: limit} }
-
-// offer considers one match for the retained set.
-func (t *topK) offer(m join.Match) {
-	if t.limit <= 0 {
-		t.heap = append(t.heap, m)
-		return
-	}
-	if len(t.heap) < t.limit {
-		heap.Push(&t.heap, m)
-		return
-	}
-	if betterMatch(m, t.heap[0]) {
-		t.heap[0] = m
-		heap.Fix(&t.heap, 0)
-	}
-	t.dropped++
-}
-
-// sorted consumes the retained set, returning it best-first.
-func (t *topK) sorted() []join.Match {
-	ms := []join.Match(t.heap)
-	t.heap = nil
-	sort.Slice(ms, func(i, j int) bool { return betterMatch(ms[i], ms[j]) })
-	return ms
-}
-
-// matchHeap is a min-heap under betterMatch: the root is the worst retained
-// match, which a better offer evicts.
-type matchHeap []join.Match
-
-func (h matchHeap) Len() int           { return len(h) }
-func (h matchHeap) Less(i, j int) bool { return betterMatch(h[j], h[i]) }
-func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *matchHeap) Push(x any)        { *h = append(*h, x.(join.Match)) }
-func (h *matchHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-// sortMatches orders matches by mapping for deterministic output, with a
-// final probability tie-break so even elementwise-equal mappings (which
-// would otherwise fall through to unstable slice order) sort the same way
-// across runs.
-func sortMatches(ms []join.Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
-		for k := range a.Mapping {
-			if a.Mapping[k] != b.Mapping[k] {
-				return a.Mapping[k] < b.Mapping[k]
-			}
-		}
-		return a.Pr() > b.Pr()
-	})
+	return nil, false
 }

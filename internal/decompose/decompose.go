@@ -6,6 +6,7 @@
 package decompose
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -45,6 +46,13 @@ type JoinPred struct {
 // Decomposition is a set of covering paths plus the join predicates between
 // every overlapping pair.
 type Decomposition struct {
+	// Mode records which strategy produced the decomposition.
+	Mode Mode
+	// Seed is the seed the random cover actually drew from (ModeRandom
+	// only; 0 for ModeOptimized). Re-running Decompose with Options.Seed
+	// set to this value reproduces the decomposition exactly, which is what
+	// makes EXPLAIN output and ablation runs replayable.
+	Seed  int64
 	Paths []Path
 	// Joins maps (i,j) with i < j to the join predicates between Paths[i]
 	// and Paths[j]. Pairs without shared nodes are absent.
@@ -72,14 +80,46 @@ type Options struct {
 	MaxLen int     // L
 	Alpha  float64 // query threshold (for cardinality estimation)
 	Mode   Mode
-	Rand   *rand.Rand // used by ModeRandom; nil seeds deterministically
+	// Seed seeds ModeRandom when Rand is nil (0 = the deterministic
+	// default). The seed actually used is recorded in Decomposition.Seed.
+	Seed int64
+	// Rand, when set, is drawn from to derive the ModeRandom seed, so a
+	// caller-supplied stream stays reproducible and the derived seed is
+	// still recorded.
+	Rand *rand.Rand
+}
+
+// String names the mode for plan trees and logs.
+func (m Mode) String() string {
+	switch m {
+	case ModeOptimized:
+		return "optimized"
+	case ModeRandom:
+		return "random"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // Decompose splits the query into covering paths. Single-node queries yield
-// one single-node "path".
+// one single-node "path". It is Enumerate followed by Cover.
 func Decompose(q *query.Query, est CardEstimator, opt Options) (*Decomposition, error) {
-	if opt.MaxLen < 1 {
-		return nil, fmt.Errorf("decompose: MaxLen %d < 1", opt.MaxLen)
+	cands, err := Enumerate(context.Background(), q, est, opt.MaxLen, opt.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	return Cover(q, cands, opt)
+}
+
+// Enumerate lists the candidate paths a decomposition may choose from: every
+// simple path in Q with 1..MaxLen edges (one orientation each) with its
+// estimated cardinality and cost. A query with no edges yields the
+// single-node "path". The planner enumerates once and runs Cover per mode.
+// The walk grows polynomially in query size but with a high exponent on
+// dense queries, so ctx is checked periodically — a request deadline really
+// does bound planning.
+func Enumerate(ctx context.Context, q *query.Query, est CardEstimator, maxLen int, alpha float64) ([]Path, error) {
+	if maxLen < 1 {
+		return nil, fmt.Errorf("decompose: MaxLen %d < 1", maxLen)
 	}
 	if q.NumNodes() == 0 {
 		return nil, fmt.Errorf("decompose: empty query")
@@ -88,48 +128,72 @@ func Decompose(q *query.Query, est CardEstimator, opt Options) (*Decomposition, 
 		if q.NumNodes() > 1 {
 			return nil, fmt.Errorf("decompose: query has %d nodes but no edges", q.NumNodes())
 		}
-		p, err := makePath(q, est, []query.NodeID{0}, opt.Alpha)
+		p, err := makePath(q, est, []query.NodeID{0}, alpha)
 		if err != nil {
 			return nil, err
 		}
-		d := &Decomposition{Paths: []Path{p}}
+		return []Path{p}, nil
+	}
+	return enumeratePaths(ctx, q, est, maxLen, alpha)
+}
+
+// Cover selects a covering subset of pre-enumerated candidate paths
+// according to opt.Mode, recording the mode (and, for ModeRandom, the seed
+// actually used) in the decomposition.
+func Cover(q *query.Query, cands []Path, opt Options) (*Decomposition, error) {
+	if q.NumEdges() == 0 {
+		if len(cands) != 1 {
+			return nil, fmt.Errorf("decompose: edgeless query wants exactly one candidate path, have %d", len(cands))
+		}
+		d := &Decomposition{Mode: opt.Mode, Paths: []Path{cands[0]}}
+		d.Paths[0].ID = 0
 		finish(q, d)
 		return d, nil
 	}
 
-	cands, err := enumeratePaths(q, est, opt.MaxLen, opt.Alpha)
-	if err != nil {
-		return nil, err
-	}
-
 	var chosen []Path
+	var seed int64
 	switch opt.Mode {
 	case ModeOptimized:
 		chosen = greedyCover(q, cands)
 	case ModeRandom:
-		rng := opt.Rand
-		if rng == nil {
-			rng = rand.New(rand.NewSource(1))
+		// Derive one concrete seed — from the caller's stream, the explicit
+		// option, or the deterministic default — and cover from a generator
+		// built on exactly that seed, so the recorded value reproduces the
+		// decomposition no matter how it was originally seeded.
+		seed = opt.Seed
+		if opt.Rand != nil {
+			seed = opt.Rand.Int63()
 		}
-		chosen = randomCover(q, cands, rng)
+		if seed == 0 {
+			seed = 1
+		}
+		chosen = randomCover(q, cands, rand.New(rand.NewSource(seed)))
 	default:
 		return nil, fmt.Errorf("decompose: unknown mode %d", opt.Mode)
 	}
 	if chosen == nil {
-		return nil, fmt.Errorf("decompose: query not coverable with paths of length ≤ %d", opt.MaxLen)
+		return nil, fmt.Errorf("decompose: query not coverable with the enumerated paths (MaxLen %d)", opt.MaxLen)
 	}
-	d := &Decomposition{Paths: chosen}
+	d := &Decomposition{Mode: opt.Mode, Seed: seed, Paths: chosen}
 	finish(q, d)
 	return d, nil
 }
 
 // enumeratePaths lists every simple path in Q with 1..maxLen edges, one
 // orientation per path, with its cost.
-func enumeratePaths(q *query.Query, est CardEstimator, maxLen int, alpha float64) ([]Path, error) {
+func enumeratePaths(ctx context.Context, q *query.Query, est CardEstimator, maxLen int, alpha float64) ([]Path, error) {
 	var out []Path
 	n := q.NumNodes()
+	steps := 0
 	var dfs func(path []query.NodeID) error
 	dfs = func(path []query.NodeID) error {
+		steps++
+		if steps&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if len(path) >= 2 {
 			// Canonical orientation: first node < last node. (Equality is
 			// impossible on a simple path.)

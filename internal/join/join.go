@@ -45,11 +45,29 @@ const (
 	OrderByCardinality
 )
 
-// Order returns a join order over the decomposition's partitions.
+// Order returns a join order over the decomposition's partitions, ranked by
+// the histograms' estimated cardinalities.
 func Order(dec *decompose.Decomposition, mode OrderMode) []int {
+	return OrderWithCards(dec, mode, nil)
+}
+
+// OrderWithCards is Order with the per-partition cardinalities overridden:
+// cards[i] replaces the estimate dec.Paths[i].Card (nil falls back to the
+// estimates). The executor's adaptive join reorder feeds the observed
+// candidate counts through it after candidate retrieval, so the order
+// reflects what the index actually returned instead of what the offline
+// histograms predicted. Ties break by partition id, making the order fully
+// deterministic.
+func OrderWithCards(dec *decompose.Decomposition, mode OrderMode, cards []float64) []int {
 	k := len(dec.Paths)
 	if k == 0 {
 		return nil
+	}
+	card := func(p int) float64 {
+		if cards != nil {
+			return cards[p]
+		}
+		return dec.Paths[p].Card
 	}
 	if mode == OrderByCardinality {
 		order := make([]int, k)
@@ -57,7 +75,11 @@ func Order(dec *decompose.Decomposition, mode OrderMode) []int {
 			order[i] = i
 		}
 		sort.Slice(order, func(a, b int) bool {
-			return dec.Paths[order[a]].Card < dec.Paths[order[b]].Card
+			ca, cb := card(order[a]), card(order[b])
+			if ca != cb {
+				return ca < cb
+			}
+			return order[a] < order[b]
 		})
 		return order
 	}
@@ -82,18 +104,18 @@ func Order(dec *decompose.Decomposition, mode OrderMode) []int {
 			for _, o := range order {
 				preds += len(dec.Preds(p, o))
 			}
-			card := dec.Paths[p].Card
+			pcard := card(p)
 			better := false
 			switch {
 			case overlap > bestOverlap:
 				better = true
 			case overlap == bestOverlap && preds > bestPreds:
 				better = true
-			case overlap == bestOverlap && preds == bestPreds && (best < 0 || card < bestCard):
+			case overlap == bestOverlap && preds == bestPreds && (best < 0 || pcard < bestCard):
 				better = true
 			}
 			if better {
-				best, bestOverlap, bestPreds, bestCard = p, overlap, preds, card
+				best, bestOverlap, bestPreds, bestCard = p, overlap, preds, pcard
 			}
 		}
 		used[best] = true

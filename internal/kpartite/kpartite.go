@@ -470,6 +470,20 @@ func (kg *Graph) LinkedAlive(p, i, j int) []int32 {
 	return out
 }
 
+// NumLinks returns the number of join-candidate links stored (each linked
+// pair counted once) — the executor's observed size for the build stage.
+func (kg *Graph) NumLinks() int {
+	total := 0
+	for p := range kg.links {
+		for j := range kg.links[p] {
+			if kg.links[p][j].offs != nil {
+				total += len(kg.links[p][j].pool)
+			}
+		}
+	}
+	return total / 2
+}
+
 // SearchSpace returns the product of alive-vertex counts across partitions.
 func (kg *Graph) SearchSpace() float64 {
 	ss := 1.0

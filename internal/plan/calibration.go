@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/decompose"
+	"repro/internal/prob"
+)
+
+// calibMaxLen bounds the per-path-length factor table; longer paths share
+// the last bucket. Indexed paths are short (L is small), so this is ample.
+const calibMaxLen = 16
+
+// Calibration is a per-index multiplicative correction to the offline
+// histograms' cardinality estimates, learned from execution feedback: after
+// candidate retrieval the executor reports (estimated, observed) per path,
+// and the planner multiplies future estimates for that path length by the
+// learned factor. One Calibration belongs to one index generation — swap the
+// index, start a fresh Calibration (estimates for the new data start
+// uncorrected, like the plan cache starts cold).
+//
+// Factors are stored as float bits in atomics, so concurrent executions
+// update and read without locks; updates are a clamped exponentially
+// weighted blend in log space, which keeps one outlier query from slamming
+// the factor.
+type Calibration struct {
+	factors [calibMaxLen + 1]atomic.Uint64 // Float64bits; 0 = unset (1.0)
+}
+
+// NewCalibration returns an identity calibration (all factors 1).
+func NewCalibration() *Calibration { return &Calibration{} }
+
+// calibWeight is the EWMA blend weight for one observation, and calibClamp
+// bounds the factor so a run of misestimates cannot push planning into
+// nonsense territory.
+const (
+	calibWeight = 0.25
+	calibClamp  = 100.0
+)
+
+func (c *Calibration) bucket(pathLen int) int {
+	if pathLen < 0 {
+		pathLen = 0
+	}
+	if pathLen > calibMaxLen {
+		pathLen = calibMaxLen
+	}
+	return pathLen
+}
+
+// Factor returns the current correction for label sequences of the given
+// length (number of nodes on the path). 1 when nothing was observed yet.
+func (c *Calibration) Factor(pathLen int) float64 {
+	if c == nil {
+		return 1
+	}
+	bits := c.factors[c.bucket(pathLen)].Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// Observe folds one (estimated, observed) cardinality pair into the factor
+// for the given path length. rawEst must be the UNCALIBRATED histogram
+// estimate (the executor reads it from Plan.RawCards): the update blends
+// the current factor geometrically toward the directly implied target
+// observed/rawEst, so its fixed point is the target itself. Re-observing
+// the same (rawEst, observed) pair — which is exactly what re-executing a
+// cached plan does — converges instead of compounding: a residual-based
+// update against a frozen estimate would multiply the same correction in
+// on every run and ride the factor to the clamp. Zero or invalid inputs
+// are ignored.
+func (c *Calibration) Observe(pathLen int, rawEst, obs float64) {
+	if c == nil || rawEst <= 0 || obs < 0 || math.IsNaN(rawEst) || math.IsNaN(obs) {
+		return
+	}
+	// Observed zero still carries signal (the estimate was too high); floor
+	// it so the log-space blend stays finite.
+	if obs < 0.5 {
+		obs = 0.5
+	}
+	target := obs / rawEst
+	if target > calibClamp {
+		target = calibClamp
+	}
+	if target < 1/calibClamp {
+		target = 1 / calibClamp
+	}
+	slot := &c.factors[c.bucket(pathLen)]
+	for {
+		oldBits := slot.Load()
+		old := 1.0
+		if oldBits != 0 {
+			old = math.Float64frombits(oldBits)
+		}
+		// Geometric EWMA: next = old^(1-w) · target^w. Idempotent at the
+		// target, smooth across disagreeing queries of the same length.
+		next := old * math.Pow(target/old, calibWeight)
+		if next > calibClamp {
+			next = calibClamp
+		}
+		if next < 1/calibClamp {
+			next = 1 / calibClamp
+		}
+		if slot.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// calibratedEstimator corrects a base estimator with the learned factors, so
+// decomposition covers and plan costing both see the corrected numbers.
+type calibratedEstimator struct {
+	base  decompose.CardEstimator
+	calib *Calibration
+}
+
+func (e calibratedEstimator) Cardinality(X []prob.LabelID, alpha float64) float64 {
+	card := e.base.Cardinality(X, alpha)
+	return card * e.calib.Factor(len(X))
+}

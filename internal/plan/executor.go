@@ -1,0 +1,382 @@
+package plan
+
+import (
+	"container/heap"
+	"context"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/entity"
+	"repro/internal/join"
+	"repro/internal/kpartite"
+	"repro/internal/pathindex"
+)
+
+// Exec configures one plan execution — the run-time knobs that do not
+// affect which plan is chosen.
+type Exec struct {
+	// Workers bounds stage parallelism for candidate pruning and the
+	// reduction (0 = GOMAXPROCS).
+	Workers int
+	// Limit caps the number of emitted matches (0 = unlimited).
+	Limit int
+	// Order selects the emission order (OrderEmit or OrderByProb).
+	Order ResultOrder
+	// Parallelism is the number of join-enumeration workers
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
+}
+
+// Executor runs compiled plans against one index. It is stateless apart
+// from the optional calibration it feeds observations into, so one Executor
+// value may run any number of plans concurrently.
+type Executor struct {
+	ix    pathindex.Reader
+	calib *Calibration
+}
+
+// NewExecutor returns an executor over the index. calib may be nil (no
+// feedback recorded).
+func NewExecutor(ix pathindex.Reader, calib *Calibration) *Executor {
+	return &Executor{ix: ix, calib: calib}
+}
+
+// Run executes the plan in stages — candidate retrieval → k-partite build →
+// joint reduction → join — streaming matches into yield. Per-stage timings,
+// estimated vs. observed cardinalities, and prune counts land in Stats;
+// observed/estimated candidate ratios are fed back into the calibration.
+// Before the join the executor re-orders the partitions using the observed
+// alive counts instead of the plan's histogram estimates: the match set is
+// invariant under join order, so this changes cost only (PlannedOrder and
+// ExecOrder record both sides). Returning false from yield stops the
+// enumeration (not an error); the semantics of Limit, Order, Parallelism,
+// and cancellation are exactly core.MatchStream's.
+func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.Match) bool) (Stats, error) {
+	start := time.Now()
+	st := Stats{
+		Plan:         pl.Tree,
+		NumPaths:     len(pl.Dec.Paths),
+		PlannedOrder: pl.Order,
+	}
+	g := e.ix.Graph()
+	q := pl.Query
+
+	// Candidate retrieval with context pruning (Section 5.2.2).
+	t0 := time.Now()
+	sets, cstats, err := candidates.Find(ctx, e.ix, q, pl.Dec, pl.Alpha, opt.Workers)
+	if err != nil {
+		return st, err
+	}
+	st.SSPath = cstats.SSPath
+	st.SSContext = cstats.SSContext
+	st.CandidateTime = time.Since(t0)
+	estTotal, obsTotal, pruned := 0.0, 0.0, int64(0)
+	for i := range pl.Dec.Paths {
+		dp := &pl.Dec.Paths[i]
+		estTotal += dp.Card
+		obsTotal += float64(cstats.Initial[i])
+		pruned += int64(cstats.Initial[i] - cstats.Kept[i])
+		// Calibration compares against the raw (uncalibrated) estimate, so
+		// re-running a cached plan re-asserts the same target instead of
+		// compounding a correction on every execution.
+		if i < len(pl.RawCards) {
+			e.calib.Observe(len(dp.Labels), pl.RawCards[i], float64(cstats.Initial[i]))
+		}
+	}
+	st.Stages = append(st.Stages, StageStats{
+		Name: "candidates", Micros: st.CandidateTime.Microseconds(),
+		EstRows: estTotal, ObsRows: obsTotal, Pruned: pruned,
+	})
+
+	// Join-candidates / k-partite graph (Section 5.2.3).
+	t0 = time.Now()
+	kg, err := kpartite.Build(ctx, g, q, pl.Dec, sets, pl.Alpha)
+	if err != nil {
+		return st, err
+	}
+	st.BuildTime = time.Since(t0)
+	st.Stages = append(st.Stages, StageStats{
+		Name: "build", Micros: st.BuildTime.Microseconds(),
+		ObsRows: float64(kg.NumLinks()),
+	})
+
+	// Joint search space reduction (Section 5.2.4), when the plan says so.
+	t0 = time.Now()
+	ssBefore := kg.SearchSpace()
+	before := 0
+	for p := 0; p < kg.NumPartitions(); p++ {
+		before += kg.AliveCount(p)
+	}
+	if pl.Reduce {
+		rst, err := kg.Reduce(ctx, opt.Workers)
+		if err != nil {
+			return st, err
+		}
+		st.SSAfterStructure = rst.SSAfterStructure
+		st.SSFinal = rst.SSAfterUpperbound
+		st.ReductionRounds = rst.Rounds
+	} else {
+		st.SSAfterStructure = kg.SearchSpace()
+		st.SSFinal = st.SSAfterStructure
+	}
+	after := 0
+	for p := 0; p < kg.NumPartitions(); p++ {
+		after += kg.AliveCount(p)
+	}
+	st.ReduceTime = time.Since(t0)
+	st.Stages = append(st.Stages, StageStats{
+		Name: "reduce", Micros: st.ReduceTime.Microseconds(),
+		EstRows: ssBefore, ObsRows: st.SSFinal, Pruned: int64(before - after),
+	})
+
+	// Adaptive join reorder: rerun the plan's order heuristic with the
+	// observed alive counts in place of the histogram estimates. The match
+	// set is order-invariant, so this is purely a cost move — and it uses
+	// real numbers where planning had only estimates.
+	obsCards := make([]float64, kg.NumPartitions())
+	for p := range obsCards {
+		obsCards[p] = float64(kg.AliveCount(p))
+	}
+	order := join.OrderWithCards(pl.Dec, pl.OrderMode, obsCards)
+	st.ExecOrder = order
+
+	// Final match generation (Section 5.2.5), streamed.
+	t0 = time.Now()
+	par := opt.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case opt.Order == OrderByProb && par > 1:
+		err = e.streamTopKParallel(ctx, g, kg, pl, order, opt, par, yield, &st)
+	case opt.Order == OrderByProb:
+		err = e.streamTopK(ctx, g, kg, pl, order, opt, yield, &st)
+	case par > 1:
+		err = e.streamEmitParallel(ctx, g, kg, pl, order, opt, par, yield, &st)
+	default:
+		err = e.streamEmit(ctx, g, kg, pl, order, opt, yield, &st)
+	}
+	if err != nil {
+		return st, err
+	}
+	st.JoinTime = time.Since(t0)
+	st.Stages = append(st.Stages, StageStats{
+		Name: "join", Micros: st.JoinTime.Microseconds(),
+		EstRows: st.SSFinal, ObsRows: float64(st.Matched),
+	})
+	st.Total = time.Since(start)
+	return st, nil
+}
+
+// streamEmit drives the join enumeration straight into yield, stopping the
+// enumeration (not just the emission) when Limit is reached or the consumer
+// returns false.
+func (e *Executor) streamEmit(ctx context.Context, g *entity.Graph, kg *kpartite.Graph, pl *Plan, order []int, opt Exec, yield func(join.Match) bool, st *Stats) error {
+	return join.FindMatchesFunc(ctx, g, pl.Query, pl.Dec, kg, order, pl.Alpha, func(m join.Match) bool {
+		st.Matched++
+		if !yield(m) {
+			st.Truncated = true
+			return false
+		}
+		if opt.Limit > 0 && st.Matched >= opt.Limit {
+			st.Truncated = true
+			return false
+		}
+		return true
+	})
+}
+
+// streamTopK runs the join to completion, retaining the Limit best matches
+// under probability order in a bounded min-heap, then emits them in
+// decreasing probability. With Limit == 0 every match is retained and
+// sorted.
+func (e *Executor) streamTopK(ctx context.Context, g *entity.Graph, kg *kpartite.Graph, pl *Plan, order []int, opt Exec, yield func(join.Match) bool, st *Stats) error {
+	top := newTopK(opt.Limit)
+	err := join.FindMatchesFunc(ctx, g, pl.Query, pl.Dec, kg, order, pl.Alpha, func(m join.Match) bool {
+		top.offer(m)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	st.Truncated = top.dropped > 0
+	for _, m := range top.sorted() {
+		st.Matched++
+		if !yield(m) {
+			st.Truncated = true
+			break
+		}
+	}
+	return nil
+}
+
+// streamEmitParallel fans the per-worker match streams into one channel so
+// the caller's yield keeps its serial contract: the morsel workers enumerate
+// concurrently, the consumer (this goroutine) emits. Limit or a false yield
+// closes the stop channel, which unblocks every producer send and stops all
+// workers promptly.
+func (e *Executor) streamEmitParallel(ctx context.Context, g *entity.Graph, kg *kpartite.Graph, pl *Plan, order []int, opt Exec, par int, yield func(join.Match) bool, st *Stats) error {
+	ch := make(chan join.Match, 4*par)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var jerr error
+	go func() {
+		defer close(done)
+		jerr = join.FindMatchesParallel(ctx, g, pl.Query, pl.Dec, kg, order, pl.Alpha, par, func(_ int, m join.Match) bool {
+			select {
+			case ch <- m:
+				return true
+			case <-stop:
+				return false
+			}
+		})
+		close(ch)
+	}()
+	stopped := false
+	for m := range ch {
+		st.Matched++
+		keep := yield(m)
+		if !keep || (opt.Limit > 0 && st.Matched >= opt.Limit) {
+			st.Truncated = true
+			stopped = true
+			close(stop)
+			break
+		}
+	}
+	<-done
+	if stopped {
+		return nil
+	}
+	// The producers may have finished (and reported no error) before a
+	// cancellation that raced with the last buffered matches being drained;
+	// re-check so a cancel-from-yield surfaces as ctx.Err() exactly like the
+	// sequential path's tail check.
+	if jerr == nil {
+		jerr = ctx.Err()
+	}
+	return jerr
+}
+
+// streamTopKParallel runs the parallel join to completion with one bounded
+// min-heap per worker — no cross-worker synchronization on the hot path —
+// then merges the per-worker heaps and emits the global top-Limit in
+// decreasing probability. Because the enumeration is exhaustive and
+// betterMatch is a total order, the output is byte-identical to the
+// sequential OrderByProb stream.
+func (e *Executor) streamTopKParallel(ctx context.Context, g *entity.Graph, kg *kpartite.Graph, pl *Plan, order []int, opt Exec, par int, yield func(join.Match) bool, st *Stats) error {
+	tops := make([]*topK, par)
+	for i := range tops {
+		tops[i] = newTopK(opt.Limit)
+	}
+	err := join.FindMatchesParallel(ctx, g, pl.Query, pl.Dec, kg, order, pl.Alpha, par, func(w int, m join.Match) bool {
+		tops[w].offer(m)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	merged := newTopK(opt.Limit)
+	offered := 0
+	for _, t := range tops {
+		offered += len(t.heap) + t.dropped
+		for _, m := range t.heap {
+			merged.offer(m)
+		}
+	}
+	st.Truncated = opt.Limit > 0 && offered > opt.Limit
+	for _, m := range merged.sorted() {
+		st.Matched++
+		if !yield(m) {
+			st.Truncated = true
+			break
+		}
+	}
+	return nil
+}
+
+// betterMatch is the probability total order used by OrderByProb: higher
+// Pr first, equal probabilities broken by mapping so the ranking — and in
+// particular the top-K cut — is fully deterministic.
+func betterMatch(a, b join.Match) bool {
+	pa, pb := a.Pr(), b.Pr()
+	if pa != pb {
+		return pa > pb
+	}
+	return mappingLess(a.Mapping, b.Mapping)
+}
+
+func mappingLess(a, b []entity.ID) bool {
+	for k := range a {
+		if k >= len(b) {
+			return false
+		}
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// topK retains the best matches under betterMatch. With limit > 0 it is a
+// bounded min-heap whose root is the worst retained match (O(limit) memory,
+// O(log limit) per offer); with limit == 0 it keeps everything.
+type topK struct {
+	limit   int
+	heap    matchHeap
+	dropped int
+}
+
+func newTopK(limit int) *topK { return &topK{limit: limit} }
+
+// offer considers one match for the retained set.
+func (t *topK) offer(m join.Match) {
+	if t.limit <= 0 {
+		t.heap = append(t.heap, m)
+		return
+	}
+	if len(t.heap) < t.limit {
+		heap.Push(&t.heap, m)
+		return
+	}
+	if betterMatch(m, t.heap[0]) {
+		t.heap[0] = m
+		heap.Fix(&t.heap, 0)
+	}
+	t.dropped++
+}
+
+// sorted consumes the retained set, returning it best-first.
+func (t *topK) sorted() []join.Match {
+	ms := []join.Match(t.heap)
+	t.heap = nil
+	sort.Slice(ms, func(i, j int) bool { return betterMatch(ms[i], ms[j]) })
+	return ms
+}
+
+// matchHeap is a min-heap under betterMatch: the root is the worst retained
+// match, which a better offer evicts.
+type matchHeap []join.Match
+
+func (h matchHeap) Len() int           { return len(h) }
+func (h matchHeap) Less(i, j int) bool { return betterMatch(h[j], h[i]) }
+func (h matchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *matchHeap) Push(x any)        { *h = append(*h, x.(join.Match)) }
+func (h *matchHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// SortMatches orders matches by mapping for deterministic output, with a
+// final probability tie-break so even elementwise-equal mappings (which
+// would otherwise fall through to unstable slice order) sort the same way
+// across runs.
+func SortMatches(ms []join.Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		for k := range a.Mapping {
+			if a.Mapping[k] != b.Mapping[k] {
+				return a.Mapping[k] < b.Mapping[k]
+			}
+		}
+		return a.Pr() > b.Pr()
+	})
+}

@@ -5,17 +5,87 @@ import (
 	"sync"
 )
 
-// resultCache is a mutex-guarded LRU cache from canonical request keys to
-// finished match responses. Entries are immutable once stored: hits hand out
-// the same *MatchResponse to every caller, so nothing downstream may mutate
-// it (the handlers only marshal it).
-type resultCache struct {
+// lruCache is a mutex-guarded LRU from comparable keys to immutable values,
+// shared by the result cache and the plan cache. Entries are immutable once
+// stored: hits hand out the same value to every caller, so nothing
+// downstream may mutate it.
+type lruCache[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
-	items    map[cacheKey]*list.Element
+	items    map[K]*list.Element
 	lru      *list.List // front = most recently used
 	hits     uint64
 	misses   uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRUCache returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (the returned nil cache answers every get with a miss
+// and drops every put).
+func newLRUCache[K comparable, V any](capacity int) *lruCache[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache[K, V]{
+		capacity: capacity,
+		items:    make(map[K]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached value for key, if any.
+func (c *lruCache[K, V]) get(key K) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return zero, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// put stores a value, evicting the least recently used entry when full.
+func (c *lruCache[K, V]) put(key K, val V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.lru.Remove(back)
+		delete(c.items, back.Value.(*lruEntry[K, V]).key)
+	}
+	c.items[key] = c.lru.PushFront(&lruEntry[K, V]{key: key, val: val})
+}
+
+// stats returns hit/miss counters and the current size.
+func (c *lruCache[K, V]) stats() (hits, misses uint64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.items)
 }
 
 // cacheKey identifies one cacheable match computation. IndexID ties entries
@@ -28,62 +98,6 @@ type cacheKey struct {
 	strategy string
 	order    string // result order ("emit" or "prob")
 	limit    int    // match limit (0 = all) — a limited run is its own entry
-}
-
-type cacheEntry struct {
-	key cacheKey
-	res *MatchResponse
-}
-
-func newResultCache(capacity int) *resultCache {
-	if capacity <= 0 {
-		return nil
-	}
-	return &resultCache{
-		capacity: capacity,
-		items:    make(map[cacheKey]*list.Element),
-		lru:      list.New(),
-	}
-}
-
-// get returns the cached response for key, if any.
-func (c *resultCache) get(key cacheKey) (*MatchResponse, bool) {
-	if c == nil {
-		return nil, false
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.lru.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
-}
-
-// put stores a response, evicting the least recently used entry when full.
-func (c *resultCache) put(key cacheKey, res *MatchResponse) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.lru.MoveToFront(el)
-		return
-	}
-	for len(c.items) >= c.capacity {
-		back := c.lru.Back()
-		if back == nil {
-			break
-		}
-		c.lru.Remove(back)
-		delete(c.items, back.Value.(*cacheEntry).key)
-	}
-	c.items[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
 }
 
 // flightGroup collapses concurrent identical computations (a minimal
@@ -122,14 +136,4 @@ func (g *flightGroup) forget(key cacheKey) {
 	g.mu.Lock()
 	delete(g.calls, key)
 	g.mu.Unlock()
-}
-
-// stats returns hit/miss counters and the current size.
-func (c *resultCache) stats() (hits, misses uint64, size int) {
-	if c == nil {
-		return 0, 0, 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.items)
 }

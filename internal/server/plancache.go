@@ -1,0 +1,20 @@
+package server
+
+// planKey identifies one cacheable query plan. Unlike the result cache the
+// key carries no limit/order: those are run-time knobs that do not change
+// which plan is chosen, so a top-K page request and a full collect share one
+// cached plan. indexID ties entries to the served index generation —
+// swapping the index changes the id, which orphans (and eventually evicts)
+// all stale plans, exactly like the result cache.
+//
+// The cache itself is the shared lruCache (see cache.go) instantiated at
+// [planKey, *plan.Plan]: plans are immutable after planning, so hits hand
+// the same *plan.Plan to any number of concurrent executions, and a repeat
+// query skips candidate path enumeration, cover selection, and cost-model
+// evaluation entirely.
+type planKey struct {
+	indexID  string
+	query    string // canonicalized DSL (parse → Format)
+	alpha    uint64 // math.Float64bits of α
+	strategy string
+}

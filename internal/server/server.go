@@ -6,7 +6,10 @@
 // The design leans on the read path being lock-free for concurrent callers
 // (see pathindex.Index): requests never contend on the index itself, only on
 // the bounded worker pool that caps how many match evaluations run at once,
-// and on the LRU result cache that short-circuits repeated queries entirely.
+// and on two LRU caches: the result cache that short-circuits repeated
+// queries entirely, and the plan cache that lets every evaluation of a
+// previously seen query (different limit/order, streaming, after a result
+// eviction) skip decomposition and planning.
 //
 // Endpoints:
 //
@@ -17,6 +20,9 @@
 //	                    finds them, then a terminal done/error line
 //	POST /match/batch   BatchRequest      → BatchResponse (items evaluated
 //	                    concurrently through the pool)
+//	POST /explain       one MatchRequest  → ExplainResponse: the plan tree
+//	                    the query would execute under, without executing it
+//	                    (shares the plan cache with the match endpoints)
 //	POST /ingest        live.Mutation (single JSON or NDJSON batch) →
 //	                    live.ApplyResult; 501 unless SetLive enabled the
 //	                    write path
@@ -48,6 +54,7 @@ import (
 	"repro/internal/join"
 	"repro/internal/live"
 	"repro/internal/pathindex"
+	"repro/internal/plan"
 	"repro/internal/query"
 )
 
@@ -79,6 +86,11 @@ type Options struct {
 	// admission-control pool was sized for; under a saturated pool, total
 	// join workers are still bounded by Workers × MatchParallelism.
 	MatchParallelism int
+	// PlanCacheEntries sizes the LRU plan cache (0 = 256, negative
+	// disables). Cached plans are keyed by canonical query + α + strategy +
+	// index identity, so repeat queries — including /match/stream requests,
+	// which bypass the result cache — skip decomposition and planning.
+	PlanCacheEntries int
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -108,15 +120,22 @@ func (o *Options) normalize() {
 	if o.MatchParallelism > o.Workers {
 		o.MatchParallelism = o.Workers
 	}
+	if o.PlanCacheEntries == 0 {
+		o.PlanCacheEntries = 256
+	}
 }
 
 // servedIndex is one generation of the served index with its in-flight
 // reference count, so a swap can drain readers before the old index is
-// closed.
+// closed. Each generation carries its own planner calibration: the
+// observed/estimated cardinality feedback is only valid against the data it
+// was observed on, so a swap starts the correction fresh (stale plan-cache
+// and result-cache entries are likewise orphaned by the new id).
 type servedIndex struct {
-	ix   pathindex.Reader
-	id   string
-	refs atomic.Int64
+	ix    pathindex.Reader
+	id    string
+	calib *plan.Calibration
+	refs  atomic.Int64
 }
 
 // Server serves match queries over one opened index. Safe for concurrent
@@ -133,7 +152,8 @@ type Server struct {
 
 	sem     chan struct{}
 	waiters atomic.Int64
-	cache   *resultCache
+	cache   *lruCache[cacheKey, *MatchResponse]
+	plans   *lruCache[planKey, *plan.Plan]
 	flight  flightGroup
 
 	requests     atomic.Uint64
@@ -151,7 +171,8 @@ func New(ix pathindex.Reader, opt Options) *Server {
 	s := &Server{
 		opt:   opt,
 		sem:   make(chan struct{}, opt.Workers),
-		cache: newResultCache(opt.CacheEntries),
+		cache: newLRUCache[cacheKey, *MatchResponse](opt.CacheEntries),
+		plans: newLRUCache[planKey, *plan.Plan](opt.PlanCacheEntries),
 	}
 	s.setIndex(ix)
 	return s
@@ -209,8 +230,9 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 	// across swaps (a %p pointer could be reused after GC); the entry count
 	// is informational.
 	s.cur = &servedIndex{
-		ix: ix,
-		id: fmt.Sprintf("gen%d#%d", s.gen.Add(1), ix.Stats().Entries),
+		ix:    ix,
+		id:    fmt.Sprintf("gen%d#%d", s.gen.Add(1), ix.Stats().Entries),
+		calib: plan.NewCalibration(),
 	}
 	// Prune fully released generations right away: with live ingest every
 	// batch publishes, and without pruning the retired list would pin one
@@ -273,15 +295,27 @@ type MatchEntry struct {
 	Prn     float64  `json:"prn"`
 }
 
-// MatchStats is the per-request statistics summary.
+// MatchStats is the per-request statistics summary. Plan is the executed
+// plan tree — the same tree POST /explain returns for the query (with the
+// plan cache enabled, the very same cached value) — and Stages carries the
+// executor's per-stage timings, estimated vs. observed cardinalities, and
+// prune counts. PlannedOrder vs ExecOrder shows the adaptive join reorder:
+// they differ exactly when the observed candidate counts contradicted the
+// histogram ranking.
 type MatchStats struct {
 	NumPaths        int     `json:"num_paths"`
 	SSFinal         float64 `json:"search_space_final"`
 	TotalMicros     int64   `json:"total_us"`
+	PlanMicros      int64   `json:"plan_us,omitempty"`
 	DecomposeMicros int64   `json:"decompose_us"`
 	CandidateMicros int64   `json:"candidates_us"`
 	ReduceMicros    int64   `json:"reduce_us"`
 	JoinMicros      int64   `json:"join_us"`
+
+	Plan         *plan.Tree        `json:"plan,omitempty"`
+	Stages       []plan.StageStats `json:"stages,omitempty"`
+	PlannedOrder []int             `json:"planned_join_order,omitempty"`
+	ExecOrder    []int             `json:"exec_join_order,omitempty"`
 }
 
 // MatchResponse is the JSON body answering one match request.
@@ -291,6 +325,10 @@ type MatchResponse struct {
 	Alpha      float64      `json:"alpha"`
 	Strategy   string       `json:"strategy"`
 	Cached     bool         `json:"cached"`
+	// PlanCached reports that the evaluation reused a cached query plan,
+	// skipping decomposition and planning (independent of Cached, which
+	// short-circuits the whole evaluation).
+	PlanCached bool `json:"plan_cached,omitempty"`
 	// Truncated reports that the match set may be incomplete: the request's
 	// limit stopped the enumeration (order "emit") or discarded matches
 	// beyond the top-K (order "prob").
@@ -311,10 +349,12 @@ type StreamEvent struct {
 // StreamDone is the terminal NDJSON line of a successful /match/stream
 // response.
 type StreamDone struct {
-	NumMatches int         `json:"num_matches"`
-	Truncated  bool        `json:"truncated,omitempty"`
-	Alpha      float64     `json:"alpha"`
-	Strategy   string      `json:"strategy"`
+	NumMatches int     `json:"num_matches"`
+	Truncated  bool    `json:"truncated,omitempty"`
+	Alpha      float64 `json:"alpha"`
+	Strategy   string  `json:"strategy"`
+	// PlanCached reports that this stream reused a cached query plan.
+	PlanCached bool        `json:"plan_cached,omitempty"`
 	Stats      *MatchStats `json:"stats,omitempty"`
 }
 
@@ -343,8 +383,13 @@ type StatsResponse struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
-	Workers      int    `json:"workers"`
-	IndexEntries uint64 `json:"index_entries"`
+	// Plan cache counters: hits are evaluations (or /explain calls) that
+	// skipped decomposition and planning entirely.
+	PlanCacheHits    uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses  uint64 `json:"plan_cache_misses"`
+	PlanCacheEntries int    `json:"plan_cache_entries"`
+	Workers          int    `json:"workers"`
+	IndexEntries     uint64 `json:"index_entries"`
 	// Live ingest counters (zero when the write path is disabled).
 	Ingested     uint64       `json:"ingested,omitempty"`
 	IngestFailed uint64       `json:"ingest_failed,omitempty"`
@@ -392,6 +437,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/match", s.handleMatch)
 	mux.HandleFunc("/match/stream", s.handleMatchStream)
 	mux.HandleFunc("/match/batch", s.handleBatch)
+	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -496,13 +542,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	timeout := s.opt.RequestTimeout
-	if req.TimeoutMillis > 0 {
-		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
-			timeout = d
-		}
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
 		s.countFailure(err)
@@ -510,6 +550,16 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { <-s.sem }()
+
+	// Plan under the worker slot (a cache hit skips planning entirely);
+	// /match/stream bypasses the result cache, so the plan cache is what a
+	// repeat streaming query saves on.
+	pl, planCached, perr := s.plannedFor(ctx, si, p)
+	if perr != nil {
+		s.countFailure(perr)
+		writeError(w, perr)
+		return
+	}
 
 	// Bound every event write by the request deadline: a client that stops
 	// reading mid-stream blocks the handler inside a write, where the ctx
@@ -528,7 +578,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	clientGone := false
 	n := 0
-	st, matchErr := core.MatchStream(ctx, si.ix, p.q, p.options(&s.opt), func(m join.Match) bool {
+	st, matchErr := core.MatchStreamPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib), func(m join.Match) bool {
 		e := matchEntry(m)
 		if err := enc.Encode(&StreamEvent{Match: &e}); err != nil {
 			clientGone = true
@@ -556,13 +606,77 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.succeeded.Add(1)
+	if !planCached {
+		// Planning ran in this request; bill it in the terminal stats like
+		// /match does, Total included, so stream and buffered latencies —
+		// and plan-cache effectiveness — stay comparable.
+		st.PlanTime = pl.PlanTime
+		st.DecomposeTime = pl.DecomposeTime
+		st.Total += pl.PlanTime
+	}
 	_ = enc.Encode(&StreamEvent{Done: &StreamDone{
 		NumMatches: n,
 		Truncated:  st.Truncated,
 		Alpha:      p.alpha,
 		Strategy:   p.stratName,
+		PlanCached: planCached,
 		Stats:      statsJSON(st),
 	}})
+}
+
+// ExplainResponse answers POST /explain: the plan tree the query would
+// execute under right now, without executing it. Because /explain and the
+// match endpoints share the plan cache, a subsequent identical match request
+// executes — and reports in its stats — this very tree.
+type ExplainResponse struct {
+	Plan *plan.Tree `json:"plan"`
+	// Cached reports a plan-cache hit (the tree was compiled by an earlier
+	// request against the same index generation).
+	Cached bool `json:"cached"`
+}
+
+// handleExplain plans a match request without executing it. The request
+// body is a MatchRequest; limit/order/timeout fields are accepted and
+// ignored — they are run-time knobs that do not change the plan.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		return
+	}
+	var req MatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, decodeError(err))
+		return
+	}
+	s.requests.Add(1)
+	si, release := s.acquireIndex()
+	defer release()
+	p, err := s.parseParams(si.ix, &req)
+	if err != nil {
+		s.countFailure(err)
+		writeError(w, err)
+		return
+	}
+	// Planning enumerates every simple path of the query (exponential in
+	// query size), so /explain runs under the same admission control and
+	// request deadline as the compute endpoints — a burst of explains must
+	// not starve the match traffic the pool was sized for.
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.countFailure(err)
+		writeError(w, err)
+		return
+	}
+	defer func() { <-s.sem }()
+	pl, cached, perr := s.plannedFor(ctx, si, p)
+	if perr != nil {
+		s.countFailure(perr)
+		writeError(w, perr)
+		return
+	}
+	s.succeeded.Add(1)
+	writeJSON(w, http.StatusOK, &ExplainResponse{Plan: pl.Tree, Cached: cached})
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -657,21 +771,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
+	phits, pmisses, psize := s.plans.stats()
 	si, release := s.acquireIndex()
 	defer release()
 	ix := si.ix
 	resp := &StatsResponse{
-		Requests:     s.requests.Load(),
-		Succeeded:    s.succeeded.Load(),
-		Failed:       s.failed.Load(),
-		Rejected:     s.rejected.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		CacheEntries: size,
-		Workers:      s.opt.Workers,
-		IndexEntries: ix.Stats().Entries,
-		Ingested:     s.ingested.Load(),
-		IngestFailed: s.ingestFailed.Load(),
+		Requests:         s.requests.Load(),
+		Succeeded:        s.succeeded.Load(),
+		Failed:           s.failed.Load(),
+		Rejected:         s.rejected.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheEntries:     size,
+		PlanCacheHits:    phits,
+		PlanCacheMisses:  pmisses,
+		PlanCacheEntries: psize,
+		Workers:          s.opt.Workers,
+		IndexEntries:     ix.Stats().Entries,
+		Ingested:         s.ingested.Load(),
+		IngestFailed:     s.ingestFailed.Load(),
 	}
 	if db := s.liveDB(); db != nil {
 		st := db.Status()
@@ -684,6 +802,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // buffered and streaming paths.
 type matchParams struct {
 	q         *query.Query
+	canonical string // canonicalized query text (parse → Format), cache key material
 	alpha     float64
 	strat     core.Strategy
 	stratName string
@@ -692,8 +811,9 @@ type matchParams struct {
 	limit     int
 }
 
-// options maps the parsed request onto the core options for one evaluation.
-func (p *matchParams) options(opt *Options) core.Options {
+// options maps the parsed request onto the core options for one evaluation
+// against one served generation (whose calibration receives the feedback).
+func (p *matchParams) options(opt *Options, calib *plan.Calibration) core.Options {
 	return core.Options{
 		Alpha:       p.alpha,
 		Strategy:    p.strat,
@@ -701,7 +821,46 @@ func (p *matchParams) options(opt *Options) core.Options {
 		Limit:       p.limit,
 		Order:       p.order,
 		Parallelism: opt.MatchParallelism,
+		Calibration: calib,
 	}
+}
+
+// requestTimeout derives one request's deadline: the server cap, lowerable
+// (never raisable) by the request's timeout_ms.
+func (s *Server) requestTimeout(req *MatchRequest) time.Duration {
+	timeout := s.opt.RequestTimeout
+	if req.TimeoutMillis > 0 {
+		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return timeout
+}
+
+// plannedFor returns the compiled plan for the request against one served
+// generation, consulting the plan cache first: a hit skips decomposition,
+// cover selection, and cost-model evaluation entirely. The boolean reports
+// whether the plan came from the cache. Concurrent identical cold requests
+// may each plan (no single-flight here, deliberately): planning is tens of
+// microseconds, idempotent, and already bounded by the worker pool, so
+// collapsing it would buy little at the cost of another synchronization
+// point — unlike match evaluation, which the flightGroup does collapse.
+func (s *Server) plannedFor(ctx context.Context, si *servedIndex, p *matchParams) (*plan.Plan, bool, error) {
+	key := planKey{
+		indexID:  si.id,
+		query:    p.canonical,
+		alpha:    math.Float64bits(p.alpha),
+		strategy: p.stratName,
+	}
+	if pl, ok := s.plans.get(key); ok {
+		return pl, true, nil
+	}
+	pl, err := core.Prepare(ctx, si.ix, p.q, p.options(&s.opt, si.calib))
+	if err != nil {
+		return nil, false, matchError(err)
+	}
+	s.plans.put(key, pl)
+	return pl, false, nil
 }
 
 // parseParams validates one request against the served index's alphabet.
@@ -729,6 +888,7 @@ func (s *Server) parseParams(ix pathindex.Reader, req *MatchRequest) (*matchPara
 	if err := p.q.Validate(ix.Graph().Alphabet()); err != nil {
 		return nil, badRequest("%v", err)
 	}
+	p.canonical = p.q.Format(ix.Graph().Alphabet())
 	return p, nil
 }
 
@@ -745,7 +905,7 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 
 	key := cacheKey{
 		indexID:  indexID,
-		query:    p.q.Format(ix.Graph().Alphabet()),
+		query:    p.canonical,
 		alpha:    math.Float64bits(p.alpha),
 		strategy: p.stratName,
 		order:    p.orderName,
@@ -760,13 +920,7 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 	// The deadline starts before the queue so RequestTimeout caps the whole
 	// wall clock — a request stuck behind a saturated pool times out rather
 	// than hanging for queue wait plus a full match budget.
-	timeout := s.opt.RequestTimeout
-	if req.TimeoutMillis > 0 {
-		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
-			timeout = d
-		}
-	}
-	ctx, cancel := context.WithTimeout(ctx, timeout)
+	ctx, cancel := context.WithTimeout(ctx, s.requestTimeout(req))
 	defer cancel()
 
 	// Collapse concurrent identical cold requests: one leader computes
@@ -787,7 +941,7 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 				hit.Cached = true
 				res = &hit
 			} else {
-				res, err = s.compute(ctx, ix, p, key)
+				res, err = s.compute(ctx, si, p, key)
 			}
 			call.res, call.err = res, err
 			s.flight.forget(key)
@@ -811,16 +965,28 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 }
 
 // compute runs one match evaluation under a worker-pool slot and caches the
-// response.
-func (s *Server) compute(ctx context.Context, ix pathindex.Reader, p *matchParams, key cacheKey) (*MatchResponse, error) {
+// response: plan (or reuse the cached plan), execute, convert.
+func (s *Server) compute(ctx context.Context, si *servedIndex, p *matchParams, key cacheKey) (*MatchResponse, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer func() { <-s.sem }()
 
-	result, err := core.Match(ctx, ix, p.q, p.options(&s.opt))
+	pl, planCached, err := s.plannedFor(ctx, si, p)
+	if err != nil {
+		return nil, err
+	}
+	result, err := core.MatchPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib))
 	if err != nil {
 		return nil, matchError(err)
+	}
+	if !planCached {
+		// Planning ran in this request; bill it in the stats — Total
+		// included, so the stage times keep summing within it (a plan-cache
+		// hit reports zero plan/decompose time, which is the point).
+		result.Stats.PlanTime = pl.PlanTime
+		result.Stats.DecomposeTime = pl.DecomposeTime
+		result.Stats.Total += pl.PlanTime
 	}
 
 	res := &MatchResponse{
@@ -828,6 +994,7 @@ func (s *Server) compute(ctx context.Context, ix pathindex.Reader, p *matchParam
 		Matches:    make([]MatchEntry, len(result.Matches)),
 		Alpha:      p.alpha,
 		Strategy:   p.stratName,
+		PlanCached: planCached,
 		Truncated:  result.Stats.Truncated,
 		Stats:      statsJSON(result.Stats),
 	}
@@ -838,10 +1005,18 @@ func (s *Server) compute(ctx context.Context, ix pathindex.Reader, p *matchParam
 	return res, nil
 }
 
-// matchError maps an error out of the match pipeline to an HTTP status. The
-// request was already parsed and validated, so anything that is not the
-// request's own deadline or disconnect is a server fault (e.g. index I/O).
+// matchError maps an error out of the match pipeline to an HTTP status. An
+// options-validation failure is the request's own fault and maps to 400;
+// after that, anything that is not the request's deadline or disconnect is
+// a server fault (e.g. index I/O).
 func matchError(err error) *httpError {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he
+	}
+	if oe, ok := core.IsOptionsError(err); ok {
+		return badRequest("%v", oe)
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return &httpError{http.StatusGatewayTimeout, "match timed out"}
@@ -867,10 +1042,15 @@ func statsJSON(st core.Stats) *MatchStats {
 		NumPaths:        st.NumPaths,
 		SSFinal:         st.SSFinal,
 		TotalMicros:     st.Total.Microseconds(),
+		PlanMicros:      st.PlanTime.Microseconds(),
 		DecomposeMicros: st.DecomposeTime.Microseconds(),
 		CandidateMicros: st.CandidateTime.Microseconds(),
 		ReduceMicros:    st.ReduceTime.Microseconds(),
 		JoinMicros:      st.JoinTime.Microseconds(),
+		Plan:            st.Plan,
+		Stages:          st.Stages,
+		PlannedOrder:    st.PlannedOrder,
+		ExecOrder:       st.ExecOrder,
 	}
 }
 

@@ -406,7 +406,7 @@ func TestSetIndexInvalidatesCache(t *testing.T) {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newLRUCache[cacheKey, *MatchResponse](2)
 	k := func(i int) cacheKey { return cacheKey{query: fmt.Sprintf("q%d", i)} }
 	c.put(k(1), &MatchResponse{NumMatches: 1})
 	c.put(k(2), &MatchResponse{NumMatches: 2})

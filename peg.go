@@ -74,6 +74,7 @@ import (
 	"repro/internal/join"
 	"repro/internal/live"
 	"repro/internal/pathindex"
+	"repro/internal/plan"
 	"repro/internal/prob"
 	"repro/internal/query"
 	"repro/internal/refgraph"
@@ -167,6 +168,27 @@ type (
 	// ResultOrder selects how streamed matches are ordered (OrderEmit or
 	// OrderByProb).
 	ResultOrder = core.ResultOrder
+
+	// PreparedPlan is a compiled query plan: the decomposition and resolved
+	// execution knobs chosen by the cost-based planner. Immutable; one plan
+	// may be executed any number of times, concurrently (see PreparePlan
+	// and MatchPlan).
+	PreparedPlan = plan.Plan
+	// QueryPlan is the JSON-serializable plan tree EXPLAIN surfaces —
+	// returned by Explain, by the server's POST /explain, and reported in
+	// MatchStats.Plan after execution.
+	QueryPlan = plan.Tree
+	// PlanStage is one executed stage's record in MatchStats.Stages:
+	// timing, estimated vs. observed cardinality, prune count.
+	PlanStage = plan.StageStats
+	// PlanCalibration corrects the planner's cardinality estimates with
+	// observed/estimated feedback from earlier executions against the same
+	// index (attach one per index via MatchOptions.Calibration).
+	PlanCalibration = plan.Calibration
+	// MatchOptionsError is the typed validation error Match* return for
+	// out-of-range options (NaN α, negative limit, unknown strategy...);
+	// the server maps it to HTTP 400.
+	MatchOptionsError = core.OptionsError
 
 	// Server is the concurrent HTTP/JSON query-serving front end.
 	Server = server.Server
@@ -326,6 +348,33 @@ func MatchStream(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions
 func MatchSeq(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions) iter.Seq2[MatchRecord, error] {
 	return core.MatchSeq(ctx, ix, q, opt)
 }
+
+// Explain returns the plan tree the query would execute under — the
+// cost-based planner's choice of decomposition mode, probe reduction, and
+// join order, with estimated cardinalities, the cost breakdown, and the
+// rejected alternatives — without executing anything. The same tree is
+// reported in MatchStats.Plan after a real run.
+func Explain(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions) (*QueryPlan, error) {
+	return core.Explain(ctx, ix, q, opt)
+}
+
+// PreparePlan compiles the query's execution plan without running it. The
+// returned plan is immutable and reusable: MatchPlan executes it any number
+// of times, skipping decomposition and planning — the library-level
+// equivalent of the server's plan cache.
+func PreparePlan(ctx context.Context, ix IndexReader, q *Query, opt MatchOptions) (*PreparedPlan, error) {
+	return core.Prepare(ctx, ix, q, opt)
+}
+
+// MatchPlan answers a query by executing a previously prepared plan —
+// exactly Match's results, minus the planning work.
+func MatchPlan(ctx context.Context, ix IndexReader, pl *PreparedPlan, opt MatchOptions) (*MatchResult, error) {
+	return core.MatchPlan(ctx, ix, pl, opt)
+}
+
+// NewPlanCalibration returns an identity calibration to attach to
+// MatchOptions.Calibration for one index.
+func NewPlanCalibration() *PlanCalibration { return plan.NewCalibration() }
 
 // NewServer wraps an opened index (or a live database view) in the
 // concurrent HTTP/JSON query server; mount NewServer(ix, opt).Handler() on
