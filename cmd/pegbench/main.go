@@ -5,10 +5,14 @@
 // -perf instead runs the stream-vs-collect API microbenchmarks — plus the
 // planner rows: planner-overhead (cost of compiling a plan) and
 // plan-cache-hit / plan-cache-hit-limit1 (executing a pre-compiled plan,
-// i.e. what a server plan-cache hit runs) — and writes a machine-readable
-// BENCH_<date>.json (ns/op, allocs/op, matches/sec) so the serving-path
-// perf trajectory is tracked across PRs. -check additionally gates
-// planner-overhead at <5% of match-collect ns/op.
+// i.e. what a server plan-cache hit runs), the metrics-observe row (the
+// serving tier's per-request metrics hot path), and the open-loop
+// multi-tenant serving scenarios from serve.go — and writes a
+// machine-readable BENCH_<date>.json (ns/op, allocs/op, matches/sec, and
+// serving rows with p50/p95/p99 plus the shed/canceled/cost-rejected
+// breakdown) so the serving-path perf trajectory is tracked across PRs.
+// -check additionally gates planner-overhead at <5% and metrics-observe at
+// <2% of match-collect ns/op.
 //
 // Usage:
 //
@@ -34,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/join"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -136,6 +141,9 @@ type perfFile struct {
 	QueryNodes int         `json:"query_nodes"`
 	QueryEdges int         `json:"query_edges"`
 	Benchmarks []perfBench `json:"benchmarks"`
+	// Serving holds the open-loop serving-tier scenarios (see serve.go);
+	// omitempty keeps older baselines parseable by -check.
+	Serving []servingRow `json:"serving,omitempty"`
 }
 
 // perfBench is one benchmark row of the perf record.
@@ -229,6 +237,9 @@ func runCheck(h *harness.Harness, baseline *perfFile, threshold, allocLimit floa
 	if err := checkPlannerOverhead(rec); err != nil {
 		return err
 	}
+	if err := checkMetricsOverhead(rec); err != nil {
+		return err
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark row(s) regressed more than the threshold (ns/op %.0f%%, allocs/op %.0f%%) vs baseline (%s, main=%d)",
 			failed, 100*threshold, 100*allocLimit, baseline.Date, baseline.MainSize)
@@ -264,14 +275,54 @@ func checkPlannerOverhead(rec *perfFile) error {
 	return nil
 }
 
+// metricsOverheadBudget caps metrics-observe ns/op as a fraction of
+// match-collect ns/op: the per-request metrics hot path (one counter, seven
+// histogram observations) must stay invisible next to executing a match.
+const metricsOverheadBudget = 0.02
+
+// checkMetricsOverhead gates metrics-observe against match-collect within
+// one run (a ratio, so machine-independent — same shape as the planner
+// gate).
+func checkMetricsOverhead(rec *perfFile) error {
+	var observe, collect *perfBench
+	for i := range rec.Benchmarks {
+		switch rec.Benchmarks[i].Name {
+		case "metrics-observe":
+			observe = &rec.Benchmarks[i]
+		case "match-collect":
+			collect = &rec.Benchmarks[i]
+		}
+	}
+	if observe == nil || collect == nil || collect.NsPerOp <= 0 {
+		return fmt.Errorf("metrics-overhead gate: rows missing from the measurement")
+	}
+	ratio := observe.NsPerOp / collect.NsPerOp
+	if ratio > metricsOverheadBudget {
+		return fmt.Errorf("metrics hot path %0.f ns/op is %.2f%% of match-collect (%0.f ns/op); budget is %.0f%%",
+			observe.NsPerOp, 100*ratio, collect.NsPerOp, 100*metricsOverheadBudget)
+	}
+	fmt.Printf("check metrics-observe       %12.0f ns/op = %.3f%% of match-collect (budget %.0f%%) ok\n",
+		observe.NsPerOp, 100*ratio, 100*metricsOverheadBudget)
+	return nil
+}
+
 // runPerf benchmarks the result-producing API shapes against each other on
 // the main synthetic workload — full collect, streamed consumption,
-// first-match (Limit 1), and top-K by probability — and writes the rows to
-// out as JSON.
+// first-match (Limit 1), and top-K by probability — then runs the open-loop
+// serving scenarios, and writes everything to out as JSON.
 func runPerf(h *harness.Harness, out string) error {
 	rec, err := measurePerf(h)
 	if err != nil {
 		return err
+	}
+	rec.Serving, err = measureServing(h.Config().Seed)
+	if err != nil {
+		return err
+	}
+	for _, row := range rec.Serving {
+		fmt.Printf("serving %-20s %6.0f qps offered: %d req = %d ok + %d failed + %d canceled + %d shed + %d cost-rejected; p50=%.0fµs p95=%.0fµs p99=%.0fµs\n",
+			row.Scenario, row.OfferedQPS, row.Requests, row.Succeeded, row.Failed,
+			row.Canceled, row.Shed, row.CostRejected, row.P50Micros, row.P95Micros, row.P99Micros)
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -325,6 +376,15 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 			return len(res.Matches), nil
 		}
 	}
+	// Live metric instruments for the metrics-observe row: same families and
+	// bucket layouts the server registers, observed the way finishRequest
+	// observes them.
+	benchRequests := metrics.NewCounterVec("bench_requests_total", "", "endpoint", "outcome")
+	benchLatency := metrics.NewHistogramVec("bench_request_duration_seconds", "", "endpoint",
+		metrics.ExpBuckets(1e-4, 4, 11))
+	benchStages := metrics.NewHistogramVec("bench_stage_duration_seconds", "", "stage",
+		metrics.ExpBuckets(1e-5, 4, 12))
+	benchStageNames := []string{"plan", "decompose", "candidates", "reduce", "join", "total"}
 	// plan-cache-hit executes a pre-compiled plan (what a server plan-cache
 	// hit runs): match-collect minus planner-overhead, measured directly.
 	prepared, err := core.Prepare(ctx, ix, q, core.Options{Alpha: alpha, Parallelism: 1})
@@ -370,6 +430,19 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 				core.Options{Alpha: alpha, Limit: 10, Order: core.OrderByProb, Parallelism: 1},
 				func(join.Match) bool { return true })
 			return st.Matched, err
+		}},
+		// metrics-observe replays the serving tier's full per-request metrics
+		// hot path (outcome counter, endpoint latency histogram, six stage
+		// histograms) against live instruments from internal/metrics — the
+		// cost /metrics support adds to every served request, gated by
+		// checkMetricsOverhead at <2% of match-collect.
+		{"metrics-observe", func() (int, error) {
+			benchRequests.WithLabelValues("match", "ok").Inc()
+			benchLatency.WithLabelValue("match").Observe(1.2e-3)
+			for _, st := range benchStageNames {
+				benchStages.WithLabelValue(st).Observe(3.4e-4)
+			}
+			return 0, nil
 		}},
 		{"match-collect-p2", collect(2)},
 		{"match-collect-p4", collect(4)},

@@ -1,0 +1,329 @@
+// Open-loop multi-tenant serving benchmark: the -perf suite's serving-tier
+// rows. Unlike the closed-loop microbenchmarks (testing.Benchmark issues the
+// next op only after the previous one finishes), the driver here fires
+// requests on a fixed arrival schedule regardless of completions — the only
+// regime where queueing delay, load shedding, and admission control are
+// visible at all. Each scenario stands up a real live database and HTTP
+// server, offers a fixed mix of query shapes from internal/gen across
+// concurrent tenants while a background writer ingests mutations, and
+// records the outcome breakdown (succeeded / failed / canceled / shed /
+// cost-rejected) plus p50/p95/p99 latency of the successful requests.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/live"
+	"repro/internal/pathindex"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/server"
+)
+
+// servingRow is one open-loop scenario's record in the perf JSON.
+type servingRow struct {
+	Scenario       string  `json:"scenario"`
+	DurationMillis int64   `json:"duration_ms"`
+	OfferedQPS     float64 `json:"offered_qps"`
+	MaxPlanCost    float64 `json:"max_plan_cost,omitempty"`
+	Requests       uint64  `json:"requests"`
+	Succeeded      uint64  `json:"succeeded"`
+	Failed         uint64  `json:"failed"`
+	Canceled       uint64  `json:"canceled"`
+	Shed           uint64  `json:"shed"`
+	CostRejected   uint64  `json:"cost_rejected"`
+	Ingested       uint64  `json:"ingested"`
+	P50Micros      float64 `json:"p50_us"`
+	P95Micros      float64 `json:"p95_us"`
+	P99Micros      float64 `json:"p99_us"`
+}
+
+// servingConfig sizes the open-loop scenarios. The defaults keep one -perf
+// run in CI territory (a few seconds per scenario) while still driving the
+// pool hard enough that shedding and queueing are non-zero phenomena.
+type servingConfig struct {
+	refs      int
+	qps       float64
+	duration  time.Duration
+	ingestQPS float64
+	alpha     float64
+	seed      int64
+}
+
+func defaultServingConfig(seed int64) servingConfig {
+	return servingConfig{
+		refs:      800,
+		qps:       150,
+		duration:  2 * time.Second,
+		ingestQPS: 40,
+		alpha:     0.1,
+		seed:      seed,
+	}
+}
+
+// tenantQueries builds the fixed multi-tenant query mix: one query per
+// shape, from cheap short paths to a dense 5-node pattern whose plan cost
+// towers over the rest (the admission scenario's designated victim).
+func tenantQueries(nLabels int, seed int64) ([]*query.Query, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := nLabels
+	var out []*query.Query
+	shapes := []struct {
+		name  string
+		nodes int
+		edges int
+		cycle bool
+	}{
+		{"path3", 3, 2, false},
+		{"tree4", 4, 3, false},
+		{"cycle4", 4, 0, true},
+		{"path5", 5, 4, false},
+		{"dense5", 5, 7, false},
+	}
+	for _, sh := range shapes {
+		var (
+			q   *query.Query
+			err error
+		)
+		if sh.cycle {
+			q, err = gen.CycleQuery(rng, n, sh.nodes)
+		} else {
+			q, err = gen.RandomQuery(rng, n, sh.nodes, sh.edges)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serving: %s: %w", sh.name, err)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// newServingDB creates a throwaway live database over a fresh synthetic PGD.
+func newServingDB(ctx context.Context, cfg servingConfig) (*live.DB, error) {
+	d, err := gen.Synthetic(gen.SynthOptions{
+		Refs:          cfg.refs,
+		EdgeFactor:    5,
+		UncertainFrac: 0.2,
+		Seed:          cfg.seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "pegbench-serve-*")
+	if err != nil {
+		return nil, err
+	}
+	return live.Create(ctx, dir, d, live.Options{
+		Index:        pathindex.Options{MaxLen: 2, Beta: 0.02, Gamma: 0.1},
+		CompactEvery: 2048,
+	})
+}
+
+// measureServing runs the open-loop scenarios and returns their rows: first
+// unconstrained, then with a cost budget placed between the cheapest and the
+// most expensive tenant shape, so the expensive tenant is demonstrably
+// rejected with 429 while the cheap ones keep being served.
+func measureServing(seed int64) ([]servingRow, error) {
+	cfg := defaultServingConfig(seed)
+	open, budget, err := runServingScenario(cfg, "open-loop", 0)
+	if err != nil {
+		return nil, err
+	}
+	admission, _, err := runServingScenario(cfg, "open-loop-admission", budget)
+	if err != nil {
+		return nil, err
+	}
+	return []servingRow{*open, *admission}, nil
+}
+
+// runServingScenario stands up one live database + server, offers the tenant
+// mix open-loop for the configured duration with concurrent ingest, and
+// returns the row plus a suggested admission budget derived from the
+// observed plan costs (midway between the cheapest and priciest shape).
+func runServingScenario(cfg servingConfig, name string, maxCost float64) (*servingRow, float64, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	db, err := newServingDB(ctx, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer db.Close()
+
+	s := server.New(db.View(), server.Options{
+		Workers:        runtime.GOMAXPROCS(0),
+		RequestTimeout: 2 * time.Second,
+		MaxPlanCost:    maxCost,
+	})
+	s.SetLive(db)
+	db.SetPublisher(s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+
+	g := db.View().Graph()
+	qs, err := tenantQueries(g.NumLabels(), cfg.seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	queries := make([]string, len(qs))
+	for i, q := range qs {
+		queries[i] = q.Format(g.Alphabet())
+	}
+
+	// Probe each shape's calibrated plan cost through /explain (which is
+	// never cost-rejected) to place the admission budget for the follow-up
+	// scenario between the extremes of the offered mix.
+	minCost, maxSeen := 0.0, 0.0
+	for i, q := range queries {
+		body, _ := json.Marshal(&server.MatchRequest{Query: q, Alpha: cfg.alpha})
+		resp, err := client.Post(ts.URL+"/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		var ex server.ExplainResponse
+		err = json.NewDecoder(resp.Body).Decode(&ex)
+		resp.Body.Close()
+		if err != nil || ex.Plan == nil {
+			return nil, 0, fmt.Errorf("serving: explain shape %d: %v", i, err)
+		}
+		c := ex.Plan.Cost.Total
+		if i == 0 || c < minCost {
+			minCost = c
+		}
+		if c > maxSeen {
+			maxSeen = c
+		}
+	}
+	budget := (minCost + maxSeen) / 2
+
+	// Background writer: one tenant keeps mutating the graph while the
+	// others query, so every scenario also exercises view publication and
+	// cache invalidation under load.
+	ingestRng := rand.New(rand.NewSource(cfg.seed + 1))
+	var ingestWG sync.WaitGroup
+	ingestWG.Add(1)
+	go func() {
+		defer ingestWG.Done()
+		t := time.NewTicker(time.Duration(float64(time.Second) / cfg.ingestQPS))
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				a, b := ingestRng.Intn(cfg.refs), ingestRng.Intn(cfg.refs)
+				if a == b {
+					continue
+				}
+				mut := fmt.Sprintf(`{"op":"add-edge","a":%d,"b":%d,"p":%.2f}`, a, b, 0.3+0.6*ingestRng.Float64())
+				resp, err := client.Post(ts.URL+"/ingest", "application/json", bytes.NewReader([]byte(mut)))
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	// Pre-marshal one request body per tenant shape; a small limit bounds
+	// per-request work the way a real paging client would.
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		bodies[i], _ = json.Marshal(&server.MatchRequest{Query: q, Alpha: cfg.alpha, Limit: 50})
+	}
+
+	// The open loop proper: arrivals on a fixed schedule, one goroutine per
+	// in-flight request, completions never gate the next arrival.
+	var (
+		mu   sync.Mutex
+		lats []float64
+		wg   sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	ticker := time.NewTicker(interval)
+	begin := time.Now()
+	deadline := begin.Add(cfg.duration)
+	i := 0
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		body := bodies[i%len(bodies)]
+		i++
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := client.Post(ts.URL+"/match", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				mu.Lock()
+				lats = append(lats, plan.Micros(time.Since(start)))
+				mu.Unlock()
+			}
+		}(body)
+	}
+	ticker.Stop()
+	wg.Wait()
+	cancel()
+	ingestWG.Wait()
+	elapsed := time.Since(begin)
+
+	// The server's own accounting is the authority on the outcome breakdown.
+	resp, err := client.Get(ts.URL + "/stats")
+	if err != nil {
+		return nil, 0, err
+	}
+	var st server.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	sort.Float64s(lats)
+	row := &servingRow{
+		Scenario:       name,
+		DurationMillis: elapsed.Milliseconds(),
+		OfferedQPS:     cfg.qps,
+		MaxPlanCost:    maxCost,
+		Requests:       st.Requests,
+		Succeeded:      st.Succeeded,
+		Failed:         st.Failed,
+		Canceled:       st.Canceled,
+		Shed:           st.Rejected,
+		CostRejected:   st.CostRejected,
+		Ingested:       st.Ingested,
+		P50Micros:      percentile(lats, 0.50),
+		P95Micros:      percentile(lats, 0.95),
+		P99Micros:      percentile(lats, 0.99),
+	}
+	return row, budget, nil
+}
+
+// percentile reads the q-quantile from ascending-sorted samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

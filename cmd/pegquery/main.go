@@ -163,7 +163,7 @@ func main() {
 		fmt.Printf("  join order: planned=%v executed=%v (adaptive reorder on observed counts)\n",
 			st.PlannedOrder, st.ExecOrder)
 		for _, sg := range st.Stages {
-			fmt.Printf("  stage %-10s %8dµs est=%.0f obs=%.0f pruned=%d\n",
+			fmt.Printf("  stage %-10s %10.1fµs est=%.0f obs=%.0f pruned=%d\n",
 				sg.Name, sg.Micros, sg.EstRows, sg.ObsRows, sg.Pruned)
 		}
 	}

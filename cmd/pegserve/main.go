@@ -52,6 +52,10 @@ func main() {
 		plans    = flag.Int("plan-cache", 256, "plan cache entries (negative disables); repeat queries skip decomposition and planning")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		alpha    = flag.Float64("alpha", 0.25, "default probability threshold α")
+		metrics  = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format)")
+		maxCost  = flag.Float64("max-cost", 0, "cost-based admission: reject queries whose calibrated plan-cost estimate exceeds this with 429 (0 disables)")
+		trace    = flag.String("trace", "", "NDJSON per-query trace file (\"-\" = stderr); requests opt in with \"trace\":true")
+		traceAll = flag.Bool("trace-all", false, "with -trace: trace every request, not only those asking")
 		build    = flag.Bool("build", false, "build the index first if dir has none")
 		maxLen   = flag.Int("L", 3, "index path length when building")
 		beta     = flag.Float64("beta", 0.1, "index construction threshold β when building")
@@ -69,6 +73,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	opt := serverOptions(*workers, *matchPar, *queue, *cache, *plans, *timeout, *alpha)
+	opt.DisableMetrics = !*metrics
+	opt.MaxPlanCost = *maxCost
+	opt.TraceAll = *traceAll
+	if *trace == "-" {
+		opt.TraceWriter = os.Stderr
+	} else if *trace != "" {
+		tf, err := os.OpenFile(*trace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		opt.TraceWriter = tf
+	}
 
 	var (
 		srv *peg.Server
@@ -103,7 +122,7 @@ func main() {
 		st := db.Status()
 		log.Printf("live database: generation %d, %d entities, %d pending mutations",
 			st.Generation, st.Entities, st.Mutations)
-		srv = peg.NewServer(db.View(), serverOptions(*workers, *matchPar, *queue, *cache, *plans, *timeout, *alpha))
+		srv = peg.NewServer(db.View(), opt)
 		srv.SetLive(db)
 		db.SetPublisher(srv)
 	} else {
@@ -130,7 +149,7 @@ func main() {
 		st := ix.Stats()
 		log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
 			st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
-		srv = peg.NewServer(ix, serverOptions(*workers, *matchPar, *queue, *cache, *plans, *timeout, *alpha))
+		srv = peg.NewServer(ix, opt)
 	}
 
 	hs := &http.Server{

@@ -290,7 +290,7 @@ func MatchStream(ctx context.Context, ix pathindex.Reader, q *query.Query, opt O
 	st.DecomposeTime = pl.DecomposeTime
 	st.Stages = append([]plan.StageStats{{
 		Name:   "plan",
-		Micros: pl.PlanTime.Microseconds(),
+		Micros: plan.Micros(pl.PlanTime),
 	}}, st.Stages...)
 	st.Total = time.Since(start)
 	return st, nil

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/entity"
 	"repro/internal/pathindex"
@@ -85,7 +86,10 @@ type ApplyResult struct {
 	Compacting bool `json:"compacting"`
 }
 
-// Status is a point-in-time summary of the database.
+// Status is a point-in-time summary of the database. All fields are
+// captured under one lock, so they are mutually consistent: Generation and
+// Mutations describe the same view that Compacting/Compactions were read
+// with.
 type Status struct {
 	Generation    uint64 `json:"generation"`
 	Mutations     uint64 `json:"mutations"`
@@ -93,6 +97,11 @@ type Status struct {
 	Entities      int    `json:"entities"`
 	Compacting    bool   `json:"compacting"`
 	Compactions   uint64 `json:"compactions"`
+	// LastCompactionNanos is the wall clock of the most recent successful
+	// compaction (snapshot → fresh generation installed); zero before the
+	// first one. TotalCompactionNanos accumulates across all of them.
+	LastCompactionNanos  int64 `json:"last_compaction_ns,omitempty"`
+	TotalCompactionNanos int64 `json:"total_compaction_ns,omitempty"`
 }
 
 // DB is a live, writable probabilistic entity graph database: a mutable PGD
@@ -116,6 +125,10 @@ type DB struct {
 	closed      bool
 	compacting  bool
 	compactions uint64
+	// Wall clock of the most recent / all successful compactions, for the
+	// serving tier's metrics export.
+	lastCompactNanos  int64
+	totalCompactNanos int64
 	// Mutations applied while a compaction snapshot is building, replayed
 	// onto the fresh base at install time.
 	sinceSnapMuts  []Mutation
@@ -378,18 +391,25 @@ func (db *DB) PGDSnapshot() *refgraph.PGD {
 	return db.pgd.Clone()
 }
 
-// Status reports generation, overlay, and compaction counters.
+// Status reports generation, overlay, and compaction counters. The view is
+// read under db.mu — view installs happen under the same lock — so the
+// per-view fields (Generation, Mutations) and the compactor fields
+// (Compacting, Compactions) describe one moment: snapshotting the view
+// before taking the lock could pair a pre-compaction generation with a
+// post-compaction counter in a single report.
 func (db *DB) Status() Status {
-	v := db.View()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	v := db.view.Load()
 	return Status{
-		Generation:    v.gen,
-		Mutations:     v.muts,
-		DirtyEntities: v.DirtyEntities(),
-		Entities:      v.g.NumNodes(),
-		Compacting:    db.compacting,
-		Compactions:   db.compactions,
+		Generation:           v.gen,
+		Mutations:            v.muts,
+		DirtyEntities:        v.DirtyEntities(),
+		Entities:             v.g.NumNodes(),
+		Compacting:           db.compacting,
+		Compactions:          db.compactions,
+		LastCompactionNanos:  db.lastCompactNanos,
+		TotalCompactionNanos: db.totalCompactNanos,
 	}
 }
 
@@ -630,6 +650,7 @@ func (db *DB) Compact(ctx context.Context) error {
 // machinery, the WAL is rotated to carry only those, and the manifest flips.
 // Queries keep serving the old view throughout and switch atomically.
 func (db *DB) compactFrom(ctx context.Context, clone *refgraph.PGD, gen uint64) (err error) {
+	started := time.Now()
 	genDir := db.genDir(gen)
 	defer func() {
 		if err != nil {
@@ -713,6 +734,8 @@ func (db *DB) compactFrom(ctx context.Context, clone *refgraph.PGD, gen uint64) 
 	db.publishLocked()
 	db.compacting = false
 	db.compactions++
+	db.lastCompactNanos = time.Since(started).Nanoseconds()
+	db.totalCompactNanos += db.lastCompactNanos
 	db.sinceSnapMuts, db.sinceSnapDelta = nil, entity.Delta{}
 	pub := db.opt.Publisher
 	if pub == nil {

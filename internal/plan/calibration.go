@@ -110,6 +110,23 @@ func (c *Calibration) Observe(pathLen int, rawEst, obs float64) {
 	}
 }
 
+// Snapshot returns the per-path-length factors that have received at least
+// one observation, keyed by path length — the observability export (a
+// factor far from 1 means the offline histograms systematically mis-rank
+// that path length on the served data).
+func (c *Calibration) Snapshot() map[int]float64 {
+	if c == nil {
+		return nil
+	}
+	out := make(map[int]float64)
+	for i := range c.factors {
+		if bits := c.factors[i].Load(); bits != 0 {
+			out[i] = math.Float64frombits(bits)
+		}
+	}
+	return out
+}
+
 // calibratedEstimator corrects a base estimator with the learned factors, so
 // decomposition covers and plan costing both see the corrected numbers.
 type calibratedEstimator struct {

@@ -86,7 +86,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 		}
 	}
 	st.Stages = append(st.Stages, StageStats{
-		Name: "candidates", Micros: st.CandidateTime.Microseconds(),
+		Name: "candidates", Micros: Micros(st.CandidateTime),
 		EstRows: estTotal, ObsRows: obsTotal, Pruned: pruned,
 	})
 
@@ -98,7 +98,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.BuildTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
-		Name: "build", Micros: st.BuildTime.Microseconds(),
+		Name: "build", Micros: Micros(st.BuildTime),
 		ObsRows: float64(kg.NumLinks()),
 	})
 
@@ -127,7 +127,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.ReduceTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
-		Name: "reduce", Micros: st.ReduceTime.Microseconds(),
+		Name: "reduce", Micros: Micros(st.ReduceTime),
 		EstRows: ssBefore, ObsRows: st.SSFinal, Pruned: int64(before - after),
 	})
 
@@ -163,7 +163,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.JoinTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
-		Name: "join", Micros: st.JoinTime.Microseconds(),
+		Name: "join", Micros: Micros(st.JoinTime),
 		EstRows: st.SSFinal, ObsRows: float64(st.Matched),
 	})
 	st.Total = time.Since(start)

@@ -157,8 +157,11 @@ type Alternative struct {
 type StageStats struct {
 	// Name is "plan", "candidates", "build", "reduce", or "join".
 	Name string `json:"name"`
-	// Micros is the stage wall clock.
-	Micros int64 `json:"us"`
+	// Micros is the stage wall clock in microseconds, with nanosecond
+	// precision preserved in the fraction: a 300ns stage reports 0.3, not 0.
+	// (Truncating to whole microseconds made every plan-cache-hit planning
+	// time — and most fast stages — invisible.)
+	Micros float64 `json:"us"`
 	// EstRows / ObsRows are the estimated and observed cardinalities at the
 	// stage's granularity (candidate totals, search-space sizes, matches).
 	EstRows float64 `json:"est_rows,omitempty"`
@@ -212,3 +215,7 @@ type Stats struct {
 	PlannedOrder []int
 	ExecOrder    []int
 }
+
+// Micros converts a duration to float microseconds, keeping nanosecond
+// precision — the stage-row and JSON-stats unit.
+func Micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

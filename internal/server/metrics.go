@@ -1,0 +1,182 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Request outcome classes: the label values on peg_requests_total and the
+// /stats counters. Every request counted in s.requests settles into exactly
+// one, so requests == ok + failed + canceled + shed + cost_rejected holds at
+// any quiescent point.
+const (
+	outcomeOK           = "ok"
+	outcomeFailed       = "failed"
+	outcomeCanceled     = "canceled"      // client disconnect / 499, not a server fault
+	outcomeShed         = "shed"          // 503: worker pool and queue full
+	outcomeCostRejected = "cost_rejected" // 429: predicted plan cost over budget
+)
+
+// serverMetrics holds the hot-path instruments (counters and histograms the
+// request path touches directly); everything that already has an
+// authoritative value elsewhere — cache tallies, pool occupancy, live-DB
+// state, calibration factors — is exported through scrape-time closures so
+// serving never pays for bookkeeping it does not need.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	requests *metrics.CounterVec   // peg_requests_total{endpoint,outcome}
+	latency  *metrics.HistogramVec // peg_request_duration_seconds{endpoint}
+	stages   *metrics.HistogramVec // peg_stage_duration_seconds{stage}
+	planCost *metrics.Histogram    // peg_plan_cost
+
+	indexInfo *metrics.InfoGauge // peg_index_info{index}
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg: metrics.NewRegistry(),
+		requests: metrics.NewCounterVec("peg_requests_total",
+			"Requests by endpoint and terminal outcome.", "endpoint", "outcome"),
+		// 100µs .. ~100s end-to-end; 10µs .. ~40s per stage.
+		latency: metrics.NewHistogramVec("peg_request_duration_seconds",
+			"End-to-end request latency by endpoint.", "endpoint",
+			metrics.ExpBuckets(1e-4, 4, 11)),
+		stages: metrics.NewHistogramVec("peg_stage_duration_seconds",
+			"Executor stage latency (plan, decompose, candidates, reduce, join, total).",
+			"stage", metrics.ExpBuckets(1e-5, 4, 12)),
+		planCost: metrics.NewHistogram("peg_plan_cost",
+			"Calibrated planner cost estimate of admitted-or-rejected executions (cost-model units).",
+			metrics.ExpBuckets(1, 8, 12)),
+		indexInfo: metrics.NewInfoGauge("peg_index_info",
+			"Identity of the served index generation.", "index"),
+	}
+	m.reg.MustRegister(
+		m.requests, m.latency, m.stages, m.planCost, m.indexInfo,
+
+		metrics.NewGaugeFunc("peg_index_entries",
+			"Path-index entries in the served generation.", func() float64 {
+				si, release := s.acquireIndex()
+				defer release()
+				return float64(si.ix.Stats().Entries)
+			}),
+		metrics.NewMultiGaugeFunc("peg_calibration_factor",
+			"Learned cardinality correction per path length for the served generation (1 = histograms accurate).",
+			"path_len", func(emit func(string, float64)) {
+				si, release := s.acquireIndex()
+				defer release()
+				snap := si.calib.Snapshot()
+				lens := make([]int, 0, len(snap))
+				for l := range snap {
+					lens = append(lens, l)
+				}
+				sort.Ints(lens)
+				for _, l := range lens {
+					emit(fmt.Sprint(l), snap[l])
+				}
+			}),
+
+		metrics.NewGaugeFunc("peg_workers",
+			"Size of the match worker pool.", func() float64 { return float64(s.opt.Workers) }),
+		metrics.NewGaugeFunc("peg_workers_busy",
+			"Worker slots currently executing.", func() float64 { return float64(len(s.sem)) }),
+		metrics.NewGaugeFunc("peg_queue_waiting",
+			"Requests waiting for a worker slot.", func() float64 { return float64(s.waiters.Load()) }),
+		metrics.NewGaugeFunc("peg_queue_depth_limit",
+			"Waiting requests beyond this are shed with 503.", func() float64 { return float64(s.opt.QueueDepth) }),
+		metrics.NewGaugeFunc("peg_admission_max_cost",
+			"Plan-cost admission budget (0 = admission disabled).", func() float64 { return s.opt.MaxPlanCost }),
+
+		metrics.NewCounterFunc("peg_result_cache_hits_total",
+			"Result-cache hits.", func() float64 { h, _, _ := s.cache.stats(); return float64(h) }),
+		metrics.NewCounterFunc("peg_result_cache_misses_total",
+			"Result-cache misses.", func() float64 { _, mi, _ := s.cache.stats(); return float64(mi) }),
+		metrics.NewGaugeFunc("peg_result_cache_entries",
+			"Result-cache resident entries.", func() float64 { _, _, n := s.cache.stats(); return float64(n) }),
+		metrics.NewCounterFunc("peg_plan_cache_hits_total",
+			"Plan-cache hits (evaluations that skipped planning).", func() float64 { h, _, _ := s.plans.stats(); return float64(h) }),
+		metrics.NewCounterFunc("peg_plan_cache_misses_total",
+			"Plan-cache misses.", func() float64 { _, mi, _ := s.plans.stats(); return float64(mi) }),
+		metrics.NewGaugeFunc("peg_plan_cache_entries",
+			"Plan-cache resident entries.", func() float64 { _, _, n := s.plans.stats(); return float64(n) }),
+
+		metrics.NewCounterFunc("peg_ingested_mutations_total",
+			"Mutations applied through /ingest.", func() float64 { return float64(s.ingested.Load()) }),
+		metrics.NewCounterFunc("peg_ingest_failed_total",
+			"Failed /ingest batches.", func() float64 { return float64(s.ingestFailed.Load()) }),
+
+		&liveCollector{s: s},
+	)
+	return m
+}
+
+// observeStages feeds one fresh (non-cached) execution's stage timings into
+// the stage histograms. Plan and decompose are zero on a plan-cache hit —
+// those stages did not run, so they are not observed.
+func (m *serverMetrics) observeStages(st *MatchStats) {
+	if st.PlanMicros > 0 {
+		m.stages.WithLabelValue("plan").Observe(st.PlanMicros / 1e6)
+	}
+	if st.DecomposeMicros > 0 {
+		m.stages.WithLabelValue("decompose").Observe(st.DecomposeMicros / 1e6)
+	}
+	m.stages.WithLabelValue("candidates").Observe(st.CandidateMicros / 1e6)
+	m.stages.WithLabelValue("reduce").Observe(st.ReduceMicros / 1e6)
+	m.stages.WithLabelValue("join").Observe(st.JoinMicros / 1e6)
+	m.stages.WithLabelValue("total").Observe(st.TotalMicros / 1e6)
+}
+
+// liveCollector renders the live-database families from one Status() call
+// per scrape (Status takes the DB mutex; eight separate gauge closures would
+// take it eight times). Nothing is emitted when the server runs read-only.
+type liveCollector struct{ s *Server }
+
+func (c *liveCollector) Name() string { return "peg_live" }
+
+func (c *liveCollector) Collect(w io.Writer) {
+	db := c.s.liveDB()
+	if db == nil {
+		return
+	}
+	st := db.Status()
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	for _, g := range []struct {
+		name, help, typ string
+		v               float64
+	}{
+		{"peg_live_generation", "Current live view generation.", "gauge", float64(st.Generation)},
+		{"peg_live_mutation_lag", "Mutations in the delta overlay not yet compacted into the base index.", "gauge", float64(st.Mutations)},
+		{"peg_live_dirty_entities", "Entities whose index entries live in the delta overlay.", "gauge", float64(st.DirtyEntities)},
+		{"peg_live_entities", "Entities in the live graph.", "gauge", float64(st.Entities)},
+		{"peg_live_compacting", "1 while a background compaction is running.", "gauge", b(st.Compacting)},
+		{"peg_live_compactions_total", "Completed background compactions.", "counter", float64(st.Compactions)},
+		{"peg_live_last_compaction_seconds", "Wall clock of the most recent compaction.", "gauge", float64(st.LastCompactionNanos) / 1e9},
+		{"peg_live_compaction_seconds_total", "Cumulative wall clock spent compacting.", "counter", float64(st.TotalCompactionNanos) / 1e9},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", g.name, g.help, g.name, g.typ, g.name, g.v)
+	}
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format.
+// The page is rendered into a buffer first so a slow scraper cannot observe
+// a torn write.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"})
+		return
+	}
+	var buf bytes.Buffer
+	s.met.reg.Render(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}

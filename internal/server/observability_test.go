@@ -1,0 +1,348 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fixtures"
+)
+
+// checkAccounting asserts the request-accounting invariant: every request
+// settled into exactly one outcome counter.
+func checkAccounting(t *testing.T, s *Server) {
+	t.Helper()
+	sum := s.succeeded.Load() + s.failed.Load() + s.canceled.Load() +
+		s.rejected.Load() + s.costRejected.Load()
+	if got := s.requests.Load(); got != sum {
+		t.Errorf("requests = %d but outcomes sum to %d (ok=%d failed=%d canceled=%d shed=%d cost=%d)",
+			got, sum, s.succeeded.Load(), s.failed.Load(), s.canceled.Load(),
+			s.rejected.Load(), s.costRejected.Load())
+	}
+}
+
+// failWriter is a ResponseWriter whose body writes always fail — the
+// server-side view of a client that disconnected mid-stream.
+type failWriter struct{ h http.Header }
+
+func (f *failWriter) Header() http.Header         { return f.h }
+func (f *failWriter) Write([]byte) (int, error)   { return 0, errors.New("broken pipe") }
+func (f *failWriter) WriteHeader(statusCode int)  {}
+
+// TestStreamDisconnectCountsCanceled is the regression test for the billing
+// bug: a client that vanishes mid-stream used to be counted as a server
+// failure.
+func TestStreamDisconnectCountsCanceled(t *testing.T) {
+	s, _ := testServer(t, Options{Workers: 2})
+	body, _ := json.Marshal(&MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha})
+	req := httptest.NewRequest(http.MethodPost, "/match/stream", bytes.NewReader(body))
+	s.Handler().ServeHTTP(&failWriter{h: make(http.Header)}, req)
+
+	if got := s.canceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+	if got := s.failed.Load(); got != 0 {
+		t.Errorf("failed = %d, want 0 (disconnect must not bill as server failure)", got)
+	}
+	checkAccounting(t, s)
+
+	// The outcome must also be visible on /metrics as its own label.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	want := `peg_requests_total{endpoint="stream",outcome="canceled"} 1`
+	if !strings.Contains(rec.Body.String(), want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+}
+
+// TestCanceledContextCountsCanceled covers the buffered path: a request
+// whose context is already gone is canceled, not failed.
+func TestCanceledContextCountsCanceled(t *testing.T) {
+	s, _ := testServer(t, Options{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, _ := json.Marshal(&MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha})
+	req := httptest.NewRequest(http.MethodPost, "/match", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 499 {
+		t.Errorf("status = %d, want 499", rec.Code)
+	}
+	if got := s.canceled.Load(); got != 1 {
+		t.Errorf("canceled = %d, want 1", got)
+	}
+	if got := s.failed.Load(); got != 0 {
+		t.Errorf("failed = %d, want 0", got)
+	}
+	checkAccounting(t, s)
+}
+
+// TestBatchAccountingInvariant mixes malformed and valid queries in one
+// batch and checks every item settles into exactly one outcome.
+func TestBatchAccountingInvariant(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/match/batch", &BatchRequest{Queries: []MatchRequest{
+		{Query: "node A nosuchlabel"},
+		{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha},
+		{Query: "syntactically broken"},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d (%s)", resp.StatusCode, body)
+	}
+	if got := s.requests.Load(); got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+	if got := s.succeeded.Load(); got != 1 {
+		t.Errorf("succeeded = %d, want 1", got)
+	}
+	if got := s.failed.Load(); got != 2 {
+		t.Errorf("failed = %d, want 2", got)
+	}
+	checkAccounting(t, s)
+}
+
+// TestCostAdmission verifies the cost-based admission tier end to end: with
+// the budget placed between the plan costs of a cheap and an expensive
+// query, the cheap one is served and the expensive one gets 429 +
+// Retry-After, counted as cost_rejected (not shed, not failed).
+func TestCostAdmission(t *testing.T) {
+	// A longer path over the same alphabet: strictly more stages to plan
+	// and join, hence a strictly larger cost estimate.
+	const expensiveDSL = "node A r\nnode B a\nnode C i\nnode D a\nnode E r\n" +
+		"edge A B\nedge B C\nedge C D\nedge D E\n"
+
+	_, ts := testServer(t, Options{Workers: 2})
+	costOf := func(dsl string) float64 {
+		resp, body := postJSON(t, ts.URL+"/explain", &MatchRequest{Query: dsl, Alpha: fixtures.MotivatingAlpha})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("explain status = %d (%s)", resp.StatusCode, body)
+		}
+		var ex ExplainResponse
+		if err := json.Unmarshal(body, &ex); err != nil {
+			t.Fatal(err)
+		}
+		return ex.Plan.Cost.Total
+	}
+	cheap, pricey := costOf(motivatingQueryDSL), costOf(expensiveDSL)
+	if pricey <= cheap {
+		t.Fatalf("expensive query cost %v not above cheap query cost %v", pricey, cheap)
+	}
+
+	s2, ts2 := testServer(t, Options{Workers: 2, MaxPlanCost: (cheap + pricey) / 2})
+	resp, body := postJSON(t, ts2.URL+"/match", &MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cheap query status = %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts2.URL+"/match", &MatchRequest{Query: expensiveDSL, Alpha: fixtures.MotivatingAlpha})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expensive query status = %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 missing Retry-After header")
+	} else if _, err := strconv.Atoi(ra); err != nil {
+		t.Errorf("Retry-After %q is not an integer", ra)
+	}
+	// Streams go through the same admission.
+	resp, _ = postJSON(t, ts2.URL+"/match/stream", &MatchRequest{Query: expensiveDSL, Alpha: fixtures.MotivatingAlpha})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("expensive stream status = %d, want 429", resp.StatusCode)
+	}
+	if got := s2.costRejected.Load(); got != 2 {
+		t.Errorf("costRejected = %d, want 2", got)
+	}
+	if got := s2.rejected.Load(); got != 0 {
+		t.Errorf("rejected = %d, want 0 (cost rejection is not pool shedding)", got)
+	}
+	if got := s2.failed.Load(); got != 0 {
+		t.Errorf("failed = %d, want 0", got)
+	}
+	checkAccounting(t, s2)
+
+	// /stats reports the new counters.
+	r, err := http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st StatsResponse
+	err = json.NewDecoder(r.Body).Decode(&st)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CostRejected != 2 {
+		t.Errorf("/stats cost_rejected = %d, want 2", st.CostRejected)
+	}
+}
+
+// TestStatsJSONSubMicrosecond is the regression test for the truncation
+// bug: integer-microsecond conversion reported 0 for every stage under 1µs.
+func TestStatsJSONSubMicrosecond(t *testing.T) {
+	st := statsJSON(core.Stats{
+		CandidateTime: 800 * time.Nanosecond,
+		JoinTime:      250 * time.Nanosecond,
+		Total:         1050 * time.Nanosecond,
+	})
+	if st.CandidateMicros != 0.8 {
+		t.Errorf("CandidateMicros = %v, want 0.8", st.CandidateMicros)
+	}
+	if st.JoinMicros != 0.25 {
+		t.Errorf("JoinMicros = %v, want 0.25", st.JoinMicros)
+	}
+	if st.TotalMicros != 1.05 {
+		t.Errorf("TotalMicros = %v, want 1.05", st.TotalMicros)
+	}
+}
+
+// TestTraceLines checks the NDJSON trace: a request with trace:true emits
+// exactly one well-formed line, a request without it emits none.
+func TestTraceLines(t *testing.T) {
+	var buf bytes.Buffer
+	s, ts := testServerWithTrace(t, &buf)
+	_, _ = postJSON(t, ts.URL+"/match", &MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha})
+	if got := strings.Count(buf.String(), "\n"); got != 0 {
+		t.Fatalf("untraced request produced %d trace lines", got)
+	}
+	_, _ = postJSON(t, ts.URL+"/match", &MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha, Trace: true})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || lines[0] == "" {
+		t.Fatalf("traced request produced %d trace lines, want 1", len(lines))
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("trace line is not JSON: %v (%s)", err, lines[0])
+	}
+	if ev["endpoint"] != "match" || ev["outcome"] != "ok" {
+		t.Errorf("trace line endpoint/outcome = %v/%v, want match/ok", ev["endpoint"], ev["outcome"])
+	}
+	if d, _ := ev["duration_us"].(float64); d <= 0 {
+		t.Errorf("trace duration_us = %v, want > 0", ev["duration_us"])
+	}
+	if q, _ := ev["query"].(string); q == "" {
+		t.Error("trace line missing query text")
+	}
+	checkAccounting(t, s)
+}
+
+func testServerWithTrace(t *testing.T, w *bytes.Buffer) (*Server, *httptest.Server) {
+	t.Helper()
+	s, _ := testServer(t, Options{Workers: 2})
+	// Re-create with the writer: testServer owns index lifecycle, so just
+	// flip the options on a dedicated instance sharing the same index.
+	s2 := New(s.cur.ix, Options{Workers: 2, TraceWriter: w})
+	ts := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts.Close)
+	return s2, ts
+}
+
+// TestMetricsScrapeUnderLoad scrapes /metrics while matches and live ingest
+// run concurrently (meaningful under -race), then parses the final page:
+// every sample line must be "name{labels} value" with a float value and a
+// preceding # TYPE declaration, and the core families must be present.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	_, _, ts := liveServer(t)
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				mut := fmt.Sprintf(`{"op":"add-edge","a":%d,"b":%d,"p":0.7}`, j%4, 4+(i+j)%4)
+				resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(mut))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				body, _ := json.Marshal(&MatchRequest{Query: motivatingQuerySrc, Alpha: 0.05})
+				if resp, err = http.Post(ts.URL+"/match", "application/json", bytes.NewReader(body)); err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp, err = http.Get(ts.URL + "/metrics"); err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	declared := map[string]bool{}
+	samples := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			declared[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("sample %q: value does not parse: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !declared[base] && !declared[name] {
+			t.Fatalf("sample %q has no preceding # TYPE", line)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("empty /metrics page")
+	}
+	for _, fam := range []string{
+		"peg_requests_total", "peg_request_duration_seconds", "peg_stage_duration_seconds",
+		"peg_plan_cost", "peg_admission_max_cost", "peg_result_cache_hits_total",
+		"peg_plan_cache_hits_total", "peg_workers", "peg_index_info", "peg_calibration_factor",
+		"peg_live_mutation_lag", "peg_live_compactions_total", "peg_ingested_mutations_total",
+	} {
+		if !declared[fam] {
+			t.Errorf("/metrics missing family %s", fam)
+		}
+	}
+}

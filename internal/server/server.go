@@ -46,6 +46,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +92,25 @@ type Options struct {
 	// index identity, so repeat queries — including /match/stream requests,
 	// which bypass the result cache — skip decomposition and planning.
 	PlanCacheEntries int
+	// MaxPlanCost is the cost-based admission budget: a query whose
+	// calibrated plan-cost estimate (plan.Tree.Cost.Total) exceeds it is
+	// rejected with 429 + Retry-After before execution, counted as
+	// cost_rejected — distinct from the 503 shed of a saturated pool.
+	// Planning is tens of microseconds, so the server can afford to predict
+	// before it admits; result-cache hits bypass admission (serving a cached
+	// answer costs nothing). 0 disables admission.
+	MaxPlanCost float64
+	// TraceWriter receives one NDJSON traceEvent line per finished request
+	// when tracing is selected (TraceAll, or the request's trace flag). Nil
+	// disables tracing entirely.
+	TraceWriter io.Writer
+	// TraceAll traces every request instead of only those asking for it.
+	TraceAll bool
+	// DisableMetrics leaves GET /metrics unregistered. The instruments still
+	// run (they are nanoseconds per request); only the scrape endpoint goes
+	// away, for deployments that must not expose internals on the serving
+	// port.
+	DisableMetrics bool
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -156,12 +176,20 @@ type Server struct {
 	plans   *lruCache[planKey, *plan.Plan]
 	flight  flightGroup
 
+	// Request accounting: every request counted in requests settles into
+	// exactly one of succeeded / failed / canceled / rejected / costRejected
+	// (see finishRequest), so the five always sum back to requests.
 	requests     atomic.Uint64
 	rejected     atomic.Uint64
 	failed       atomic.Uint64
 	succeeded    atomic.Uint64
+	canceled     atomic.Uint64
+	costRejected atomic.Uint64
 	ingested     atomic.Uint64
 	ingestFailed atomic.Uint64
+
+	met     *serverMetrics
+	traceMu sync.Mutex // serializes NDJSON trace lines onto TraceWriter
 }
 
 // New creates a server over an opened index (or any other index reader,
@@ -174,6 +202,9 @@ func New(ix pathindex.Reader, opt Options) *Server {
 		cache: newLRUCache[cacheKey, *MatchResponse](opt.CacheEntries),
 		plans: newLRUCache[planKey, *plan.Plan](opt.PlanCacheEntries),
 	}
+	// Metrics before the first setIndex so the swap can stamp the index
+	// info gauge; the scrape-time closures only run once /metrics is hit.
+	s.met = newServerMetrics(s)
 	s.setIndex(ix)
 	return s
 }
@@ -234,6 +265,7 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 		id:    fmt.Sprintf("gen%d#%d", s.gen.Add(1), ix.Stats().Entries),
 		calib: plan.NewCalibration(),
 	}
+	s.met.indexInfo.SetLabelValue(s.cur.id)
 	// Prune fully released generations right away: with live ingest every
 	// batch publishes, and without pruning the retired list would pin one
 	// whole view (context tables, overlay, graph delta) per batch until the
@@ -283,6 +315,11 @@ type MatchRequest struct {
 	// Order is "emit" (default: enumeration order, lowest latency) or
 	// "prob" (decreasing probability — top-K together with Limit).
 	Order string `json:"order,omitempty"`
+	// Trace asks the server to emit one NDJSON trace line for this request
+	// (requires the server to be configured with a trace writer). Not part
+	// of any cache key: a traced repeat of a cached query still records a
+	// line, marked cached.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // MatchEntry is one probabilistic match in a response.
@@ -303,14 +340,17 @@ type MatchEntry struct {
 // they differ exactly when the observed candidate counts contradicted the
 // histogram ranking.
 type MatchStats struct {
-	NumPaths        int     `json:"num_paths"`
-	SSFinal         float64 `json:"search_space_final"`
-	TotalMicros     int64   `json:"total_us"`
-	PlanMicros      int64   `json:"plan_us,omitempty"`
-	DecomposeMicros int64   `json:"decompose_us"`
-	CandidateMicros int64   `json:"candidates_us"`
-	ReduceMicros    int64   `json:"reduce_us"`
-	JoinMicros      int64   `json:"join_us"`
+	NumPaths int     `json:"num_paths"`
+	SSFinal  float64 `json:"search_space_final"`
+	// Stage times are float microseconds with nanosecond precision: a stage
+	// that ran for 800ns reports 0.8, not the 0 that integer-microsecond
+	// truncation used to produce for every sub-µs stage.
+	TotalMicros     float64 `json:"total_us"`
+	PlanMicros      float64 `json:"plan_us,omitempty"`
+	DecomposeMicros float64 `json:"decompose_us"`
+	CandidateMicros float64 `json:"candidates_us"`
+	ReduceMicros    float64 `json:"reduce_us"`
+	JoinMicros      float64 `json:"join_us"`
 
 	Plan         *plan.Tree        `json:"plan,omitempty"`
 	Stages       []plan.StageStats `json:"stages,omitempty"`
@@ -374,12 +414,19 @@ type BatchResponse struct {
 	Results []BatchItem `json:"results"`
 }
 
-// StatsResponse answers /stats.
+// StatsResponse answers /stats. The outcome counters partition Requests:
+// requests = succeeded + failed + canceled + rejected + cost_rejected.
 type StatsResponse struct {
-	Requests     uint64 `json:"requests"`
-	Succeeded    uint64 `json:"succeeded"`
-	Failed       uint64 `json:"failed"`
-	Rejected     uint64 `json:"rejected"`
+	Requests  uint64 `json:"requests"`
+	Succeeded uint64 `json:"succeeded"`
+	Failed    uint64 `json:"failed"`
+	// Canceled counts requests whose client went away (disconnect, 499) —
+	// not server faults, and deliberately not part of Failed.
+	Canceled uint64 `json:"canceled"`
+	Rejected uint64 `json:"rejected"`
+	// CostRejected counts 429 cost-based admission rejections (predicted
+	// plan cost over MaxPlanCost), distinct from pool-saturation Rejected.
+	CostRejected uint64 `json:"cost_rejected"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
@@ -396,10 +443,13 @@ type StatsResponse struct {
 	Live         *live.Status `json:"live,omitempty"`
 }
 
-// httpError is an error with an HTTP status.
+// httpError is an error with an HTTP status. retryAfter, when positive, is
+// surfaced as a Retry-After header — set on cost-based admission rejections
+// so clients can tell "back off and retry" from a hard failure.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; 0 = no header
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -413,7 +463,7 @@ func badRequest(format string, args ...any) *httpError {
 func decodeError(err error) *httpError {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		return &httpError{http.StatusRequestEntityTooLarge, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
+		return &httpError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)}
 	}
 	return badRequest("malformed request: %v", err)
 }
@@ -441,6 +491,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	if !s.opt.DisableMetrics {
+		mux.HandleFunc("/metrics", s.handleMetrics)
+	}
 	return mux
 }
 
@@ -469,12 +522,12 @@ const maxIngestBatch = 4096
 // distinguishes "server runs read-only" from transient failures.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 		return
 	}
 	db := s.liveDB()
 	if db == nil {
-		writeError(w, &httpError{http.StatusNotImplemented, "live ingest disabled (start the server with -live)"})
+		writeError(w, &httpError{status: http.StatusNotImplemented, msg: "live ingest disabled (start the server with -live)"})
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -505,11 +558,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// failures (WAL I/O, shutdown race) must read as retryable.
 		switch {
 		case errors.Is(err, live.ErrClosed):
-			writeError(w, &httpError{http.StatusServiceUnavailable, err.Error()})
+			writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()})
 		case errors.Is(err, live.ErrInvalidMutation):
 			writeError(w, badRequest("%v", err))
 		default:
-			writeError(w, &httpError{http.StatusInternalServerError, err.Error()})
+			writeError(w, &httpError{status: http.StatusInternalServerError, msg: err.Error()})
 		}
 		return
 	}
@@ -524,7 +577,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // improve — but share the worker pool and admission control with /match.
 func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 		return
 	}
 	var req MatchRequest
@@ -533,20 +586,23 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	start := time.Now()
+	fail := func(err error) {
+		s.finishRequest("stream", start, &req, nil, err)
+		writeError(w, err)
+	}
 	si, release := s.acquireIndex()
 	defer release()
 	p, err := s.parseParams(si.ix, &req)
 	if err != nil {
-		s.countFailure(err)
-		writeError(w, err)
+		fail(err)
 		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		s.countFailure(err)
-		writeError(w, err)
+		fail(err)
 		return
 	}
 	defer func() { <-s.sem }()
@@ -556,8 +612,13 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	// repeat streaming query saves on.
 	pl, planCached, perr := s.plannedFor(ctx, si, p)
 	if perr != nil {
-		s.countFailure(perr)
-		writeError(w, perr)
+		fail(perr)
+		return
+	}
+	// Streams never hit the result cache, so every stream is a fresh
+	// execution and goes through cost-based admission.
+	if aerr := s.admit(pl); aerr != nil {
+		fail(aerr)
 		return
 	}
 
@@ -591,21 +652,25 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	if clientGone {
-		s.failed.Add(1)
+		// The event write failed because the client stopped reading or went
+		// away mid-stream. That is the client's choice, not a server fault:
+		// bill it as canceled, never failed.
+		s.finishRequest("stream", start, &req, nil,
+			&httpError{status: 499, msg: "client closed connection mid-stream"})
 		return
 	}
 	if matchErr != nil {
-		s.failed.Add(1)
+		herr := matchError(matchErr)
+		s.finishRequest("stream", start, &req, nil, herr)
 		if n == 0 {
 			// Nothing on the wire yet: answer with a real HTTP status
 			// (writeError resets the Content-Type).
-			writeError(w, matchError(matchErr))
+			writeError(w, herr)
 			return
 		}
-		_ = enc.Encode(&StreamEvent{Error: matchError(matchErr).msg})
+		_ = enc.Encode(&StreamEvent{Error: herr.msg})
 		return
 	}
-	s.succeeded.Add(1)
 	if !planCached {
 		// Planning ran in this request; bill it in the terminal stats like
 		// /match does, Total included, so stream and buffered latencies —
@@ -614,13 +679,16 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		st.DecomposeTime = pl.DecomposeTime
 		st.Total += pl.PlanTime
 	}
+	stj := statsJSON(st)
+	s.finishRequest("stream", start, &req,
+		&MatchResponse{NumMatches: n, PlanCached: planCached, Truncated: st.Truncated, Stats: stj}, nil)
 	_ = enc.Encode(&StreamEvent{Done: &StreamDone{
 		NumMatches: n,
 		Truncated:  st.Truncated,
 		Alpha:      p.alpha,
 		Strategy:   p.stratName,
 		PlanCached: planCached,
-		Stats:      statsJSON(st),
+		Stats:      stj,
 	}})
 }
 
@@ -640,7 +708,7 @@ type ExplainResponse struct {
 // ignored — they are run-time knobs that do not change the plan.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 		return
 	}
 	var req MatchRequest
@@ -649,39 +717,43 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	start := time.Now()
+	fail := func(err error) {
+		s.finishRequest("explain", start, &req, nil, err)
+		writeError(w, err)
+	}
 	si, release := s.acquireIndex()
 	defer release()
 	p, err := s.parseParams(si.ix, &req)
 	if err != nil {
-		s.countFailure(err)
-		writeError(w, err)
+		fail(err)
 		return
 	}
 	// Planning enumerates every simple path of the query (exponential in
 	// query size), so /explain runs under the same admission control and
 	// request deadline as the compute endpoints — a burst of explains must
-	// not starve the match traffic the pool was sized for.
+	// not starve the match traffic the pool was sized for. It is NOT subject
+	// to cost-based admission: asking what a query would cost must stay
+	// answerable precisely when the answer is "too much".
 	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
 	defer cancel()
 	if err := s.acquire(ctx); err != nil {
-		s.countFailure(err)
-		writeError(w, err)
+		fail(err)
 		return
 	}
 	defer func() { <-s.sem }()
 	pl, cached, perr := s.plannedFor(ctx, si, p)
 	if perr != nil {
-		s.countFailure(perr)
-		writeError(w, perr)
+		fail(perr)
 		return
 	}
-	s.succeeded.Add(1)
+	s.finishRequest("explain", start, &req, nil, nil)
 	writeJSON(w, http.StatusOK, &ExplainResponse{Plan: pl.Tree, Cached: cached})
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 		return
 	}
 	var req MatchRequest
@@ -690,19 +762,19 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	start := time.Now()
 	res, err := s.evaluate(r.Context(), &req)
+	s.finishRequest("match", start, &req, res, err)
 	if err != nil {
-		s.countFailure(err)
 		writeError(w, err)
 		return
 	}
-	s.succeeded.Add(1)
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, &httpError{http.StatusMethodNotAllowed, "POST required"})
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "POST required"})
 		return
 	}
 	var req BatchRequest
@@ -734,13 +806,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			for i := range next {
 				s.requests.Add(1)
+				start := time.Now()
 				res, err := s.evaluate(r.Context(), &req.Queries[i])
+				s.finishRequest("batch", start, &req.Queries[i], res, err)
 				if err != nil {
-					s.countFailure(err)
 					out.Results[i] = BatchItem{Error: err.Error()}
 					continue
 				}
-				s.succeeded.Add(1)
 				out.Results[i] = BatchItem{MatchResponse: res}
 			}
 		}()
@@ -779,7 +851,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:         s.requests.Load(),
 		Succeeded:        s.succeeded.Load(),
 		Failed:           s.failed.Load(),
+		Canceled:         s.canceled.Load(),
 		Rejected:         s.rejected.Load(),
+		CostRejected:     s.costRejected.Load(),
 		CacheHits:        hits,
 		CacheMisses:      misses,
 		CacheEntries:     size,
@@ -957,9 +1031,9 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 			}
 		case <-ctx.Done():
 			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-				return nil, &httpError{http.StatusGatewayTimeout, "timed out waiting for an identical in-flight query"}
+				return nil, &httpError{status: http.StatusGatewayTimeout, msg: "timed out waiting for an identical in-flight query"}
 			}
-			return nil, &httpError{499, "client closed request"}
+			return nil, &httpError{status: 499, msg: "client closed request"}
 		}
 	}
 }
@@ -974,6 +1048,12 @@ func (s *Server) compute(ctx context.Context, si *servedIndex, p *matchParams, k
 
 	pl, planCached, err := s.plannedFor(ctx, si, p)
 	if err != nil {
+		return nil, err
+	}
+	// Cost-based admission sits between planning and execution: the request
+	// already got here past the result cache, so admitting it means paying
+	// the predicted cost for real.
+	if err := s.admit(pl); err != nil {
 		return nil, err
 	}
 	result, err := core.MatchPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib))
@@ -1019,11 +1099,11 @@ func matchError(err error) *httpError {
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return &httpError{http.StatusGatewayTimeout, "match timed out"}
+		return &httpError{status: http.StatusGatewayTimeout, msg: "match timed out"}
 	case errors.Is(err, context.Canceled):
-		return &httpError{499, "client closed request"}
+		return &httpError{status: 499, msg: "client closed request"}
 	default:
-		return &httpError{http.StatusInternalServerError, err.Error()}
+		return &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 	}
 }
 
@@ -1041,12 +1121,12 @@ func statsJSON(st core.Stats) *MatchStats {
 	return &MatchStats{
 		NumPaths:        st.NumPaths,
 		SSFinal:         st.SSFinal,
-		TotalMicros:     st.Total.Microseconds(),
-		PlanMicros:      st.PlanTime.Microseconds(),
-		DecomposeMicros: st.DecomposeTime.Microseconds(),
-		CandidateMicros: st.CandidateTime.Microseconds(),
-		ReduceMicros:    st.ReduceTime.Microseconds(),
-		JoinMicros:      st.JoinTime.Microseconds(),
+		TotalMicros:     plan.Micros(st.Total),
+		PlanMicros:      plan.Micros(st.PlanTime),
+		DecomposeMicros: plan.Micros(st.DecomposeTime),
+		CandidateMicros: plan.Micros(st.CandidateTime),
+		ReduceMicros:    plan.Micros(st.ReduceTime),
+		JoinMicros:      plan.Micros(st.JoinTime),
 		Plan:            st.Plan,
 		Stages:          st.Stages,
 		PlannedOrder:    st.PlannedOrder,
@@ -1056,7 +1136,8 @@ func statsJSON(st core.Stats) *MatchStats {
 
 // acquire takes a worker slot, waiting while the queue has room and the
 // request is still live; it sheds load once QueueDepth requests are already
-// waiting.
+// waiting. The shed is counted by finishRequest (via outcomeOf), not here,
+// so every terminal state settles through exactly one code path.
 func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
@@ -1065,7 +1146,6 @@ func (s *Server) acquire(ctx context.Context) error {
 	}
 	if s.waiters.Add(1) > int64(s.opt.QueueDepth) {
 		s.waiters.Add(-1)
-		s.rejected.Add(1)
 		return errSaturated
 	}
 	defer s.waiters.Add(-1)
@@ -1074,18 +1154,139 @@ func (s *Server) acquire(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return &httpError{http.StatusGatewayTimeout, "timed out waiting for a worker"}
+			return &httpError{status: http.StatusGatewayTimeout, msg: "timed out waiting for a worker"}
 		}
-		return &httpError{499, "client closed request"}
+		return &httpError{status: 499, msg: "client closed request"}
 	}
 }
 
-func (s *Server) countFailure(err error) {
-	var he *httpError
-	if errors.As(err, &he) && he == errSaturated {
-		return // already counted in acquire
+// admit is the cost-based admission check, run after planning and before
+// execution: the plan's calibrated total cost estimate is compared against
+// the configured budget, and a predicted-expensive query is turned away with
+// 429 + Retry-After without consuming executor time. Every planned execution
+// feeds the cost histogram, so the exported distribution shows where the
+// budget sits relative to real traffic.
+func (s *Server) admit(pl *plan.Plan) error {
+	if pl.Tree == nil {
+		return nil
 	}
-	s.failed.Add(1)
+	cost := pl.Tree.Cost.Total
+	s.met.planCost.Observe(cost)
+	if s.opt.MaxPlanCost > 0 && cost > s.opt.MaxPlanCost {
+		return &httpError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("admission: predicted plan cost %.0f exceeds the server budget %.0f", cost, s.opt.MaxPlanCost),
+			retryAfter: 1,
+		}
+	}
+	return nil
+}
+
+// outcomeOf classifies a request's terminal error into its accounting class.
+// A client that went away (499 anywhere in the pipeline, or a bare context
+// cancellation) is canceled, not failed: the server did nothing wrong, and
+// billing disconnects as failures poisons both alerting and the
+// succeeded/failed ratio.
+func outcomeOf(err error) string {
+	if err == nil {
+		return outcomeOK
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		switch {
+		case he == errSaturated:
+			return outcomeShed
+		case he.status == http.StatusTooManyRequests:
+			return outcomeCostRejected
+		case he.status == 499:
+			return outcomeCanceled
+		}
+		return outcomeFailed
+	}
+	if errors.Is(err, context.Canceled) {
+		return outcomeCanceled
+	}
+	return outcomeFailed
+}
+
+// finishRequest settles the accounting for one request previously counted in
+// s.requests: exactly one outcome counter, the endpoint latency histogram,
+// the per-stage histograms for fresh (non-cached) executions, and — when
+// tracing selects this request — one NDJSON trace line. Handlers call it on
+// every terminal path, so the requests = Σ outcomes invariant cannot drift.
+func (s *Server) finishRequest(endpoint string, start time.Time, req *MatchRequest, res *MatchResponse, err error) {
+	outcome := outcomeOf(err)
+	switch outcome {
+	case outcomeOK:
+		s.succeeded.Add(1)
+	case outcomeCanceled:
+		s.canceled.Add(1)
+	case outcomeShed:
+		s.rejected.Add(1)
+	case outcomeCostRejected:
+		s.costRejected.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	elapsed := time.Since(start)
+	s.met.requests.WithLabelValues(endpoint, outcome).Inc()
+	s.met.latency.WithLabelValue(endpoint).Observe(elapsed.Seconds())
+	if res != nil && !res.Cached && res.Stats != nil {
+		s.met.observeStages(res.Stats)
+	}
+	if s.opt.TraceWriter != nil && (s.opt.TraceAll || (req != nil && req.Trace)) {
+		s.traceRequest(endpoint, elapsed, req, res, err, outcome)
+	}
+}
+
+// traceEvent is one NDJSON line of the structured per-query trace: the
+// request's shape, its terminal outcome, and (for executed matches) the full
+// stage breakdown — enough to replay or explain any individual slow query
+// after the fact.
+type traceEvent struct {
+	Time           string      `json:"ts"`
+	Endpoint       string      `json:"endpoint"`
+	Outcome        string      `json:"outcome"`
+	DurationMicros float64     `json:"duration_us"`
+	Query          string      `json:"query,omitempty"`
+	Alpha          float64     `json:"alpha,omitempty"`
+	Strategy       string      `json:"strategy,omitempty"`
+	Order          string      `json:"order,omitempty"`
+	Limit          int         `json:"limit,omitempty"`
+	Error          string      `json:"error,omitempty"`
+	Matches        int         `json:"matches,omitempty"`
+	Cached         bool        `json:"cached,omitempty"`
+	PlanCached     bool        `json:"plan_cached,omitempty"`
+	Truncated      bool        `json:"truncated,omitempty"`
+	Stats          *MatchStats `json:"stats,omitempty"`
+}
+
+func (s *Server) traceRequest(endpoint string, elapsed time.Duration, req *MatchRequest, res *MatchResponse, err error, outcome string) {
+	ev := traceEvent{
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		Endpoint:       endpoint,
+		Outcome:        outcome,
+		DurationMicros: plan.Micros(elapsed),
+	}
+	if req != nil {
+		ev.Query, ev.Alpha, ev.Strategy, ev.Order, ev.Limit =
+			req.Query, req.Alpha, req.Strategy, req.Order, req.Limit
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	if res != nil {
+		ev.Matches, ev.Cached, ev.PlanCached, ev.Truncated, ev.Stats =
+			res.NumMatches, res.Cached, res.PlanCached, res.Truncated, res.Stats
+	}
+	line, merr := json.Marshal(&ev)
+	if merr != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.traceMu.Lock()
+	_, _ = s.opt.TraceWriter.Write(line)
+	s.traceMu.Unlock()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -1097,7 +1298,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	if !errors.As(err, &he) {
-		he = &httpError{http.StatusInternalServerError, err.Error()}
+		he = &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
 	}
 	writeJSON(w, he.status, map[string]string{"error": he.msg})
 }

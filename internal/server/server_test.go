@@ -299,7 +299,7 @@ func TestInflightDedup(t *testing.T) {
 }
 
 func TestSaturationSheds(t *testing.T) {
-	s, _ := testServer(t, Options{Workers: 1, QueueDepth: 1})
+	s, ts := testServer(t, Options{Workers: 1, QueueDepth: 1})
 	// Occupy the lone worker slot...
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
@@ -316,8 +316,18 @@ func TestSaturationSheds(t *testing.T) {
 	if err := s.acquire(context.Background()); err != errSaturated {
 		t.Fatalf("acquire = %v, want errSaturated", err)
 	}
-	if s.rejected.Load() == 0 {
-		t.Error("rejection not counted")
+	// Shedding is counted where the request settles (finishRequest), so a
+	// real request through the handler must land in rejected — and only
+	// there.
+	resp, _ := postJSON(t, ts.URL+"/match", &MatchRequest{Query: motivatingQueryDSL})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /match status = %d, want 503", resp.StatusCode)
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	if got := s.failed.Load(); got != 0 {
+		t.Errorf("failed = %d, want 0 (shed must not count as failure)", got)
 	}
 	cancel()
 	if err := <-waiting; err == nil {
