@@ -183,6 +183,10 @@ var checkedBenchmarks = map[string]bool{
 	"match-stream-limit1": true,
 	"match-topk10-prob":   true,
 	"plan-cache-hit":      true,
+	// router-topk10 is the routed analog of match-topk10-prob: one request
+	// at a time through the 2-shard scatter-gather cluster (see router.go),
+	// so the fan-out/merge overhead is gated alongside the single-node rows.
+	"router-topk10": true,
 }
 
 // plannerOverheadBudget caps planner-overhead ns/op as a fraction of
@@ -319,6 +323,11 @@ func runPerf(h *harness.Harness, out string) error {
 	if err != nil {
 		return err
 	}
+	routerServing, err := measureRouterServing(h.Config().Seed)
+	if err != nil {
+		return err
+	}
+	rec.Serving = append(rec.Serving, *routerServing)
 	for _, row := range rec.Serving {
 		fmt.Printf("serving %-20s %6.0f qps offered: %d req = %d ok + %d failed + %d canceled + %d shed + %d cost-rejected; p50=%.0fµs p95=%.0fµs p99=%.0fµs\n",
 			row.Scenario, row.OfferedQPS, row.Requests, row.Succeeded, row.Failed,
@@ -497,6 +506,17 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 		fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %6d matches %12.0f matches/s\n",
 			v.name, row.NsPerOp, row.AllocsPerOp, row.MatchesPerOp, row.MatchesPerSec)
 	}
+
+	// The cluster-tier row (its own small fixed-size workload — see
+	// router.go) rides in measurePerf rather than runPerf so -check gates it
+	// too.
+	routerRow, err := measureRouterPerf(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rec.Benchmarks = append(rec.Benchmarks, *routerRow)
+	fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %6d matches %12.0f matches/s\n",
+		routerRow.Name, routerRow.NsPerOp, routerRow.AllocsPerOp, routerRow.MatchesPerOp, routerRow.MatchesPerSec)
 	return &rec, nil
 }
 

@@ -1,0 +1,259 @@
+// Cluster-tier benchmark: the -perf rows that measure the sharded
+// scatter-gather path end to end. startRouterCluster runs the full offline
+// pipeline (partition, per-shard index build, manifest) and brings up one
+// in-process pegserve per shard behind a router, so router-topk10 (closed
+// loop, gated by -check) and router-collect (open loop, p50/p95) price the
+// whole fan-out/merge round trip: HTTP in, scatter, per-shard join, id
+// translation, bounded merge, HTTP out.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/entity"
+	"repro/internal/gen"
+	"repro/internal/pathindex"
+	"repro/internal/refgraph"
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+const (
+	routerShards = 2
+	routerRefs   = 400
+	// routerQuery is connected (the router 400s disconnected queries) and
+	// label-poor enough to match broadly on the synthetic alphabet.
+	routerQuery = "node A l0\nnode B l1\nedge A B"
+	routerAlpha = 0.05
+)
+
+// routerCluster is a throwaway in-process cluster: shard backends, the
+// router, and the on-disk shard directory, torn down in reverse order.
+type routerCluster struct {
+	url      string
+	closeFns []func()
+}
+
+func (c *routerCluster) Close() {
+	for i := len(c.closeFns) - 1; i >= 0; i-- {
+		c.closeFns[i]()
+	}
+}
+
+// startRouterCluster partitions a fresh clustered synthetic PGD into
+// routerShards shards, builds each shard's index, and serves them behind a
+// router, returning the router's base URL.
+func startRouterCluster(seed int64) (*routerCluster, error) {
+	c := &routerCluster{}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	d, err := gen.Synthetic(gen.SynthOptions{Refs: routerRefs, Groups: 8, Clusters: 4, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "pegbench-router-*")
+	if err != nil {
+		return nil, err
+	}
+	c.closeFns = append(c.closeFns, func() { os.RemoveAll(dir) })
+	m, err := shard.Build(context.Background(), d, dir, shard.Options{
+		Shards: routerShards,
+		Index:  pathindex.Options{MaxLen: 2, Beta: 0.01, Gamma: 0.05, Workers: runtime.GOMAXPROCS(0)},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	replicas := make([][]string, routerShards)
+	for s, e := range m.Entries {
+		f, err := os.Open(filepath.Join(dir, e.PGD))
+		if err != nil {
+			return nil, err
+		}
+		sd, err := refgraph.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		g, err := entity.Build(sd, entity.BuildOptions{})
+		if err != nil {
+			return nil, err
+		}
+		ix, err := pathindex.Open(filepath.Join(dir, e.IndexDir), g)
+		if err != nil {
+			return nil, err
+		}
+		c.closeFns = append(c.closeFns, func() { ix.Close() })
+		hs := httptest.NewServer(server.New(ix, server.Options{Workers: 2}).Handler())
+		c.closeFns = append(c.closeFns, hs.Close)
+		replicas[s] = []string{hs.URL}
+	}
+
+	// Replicas start healthy; the poll loop is noise in a benchmark.
+	rt, err := router.New(m, router.Options{Replicas: replicas, HealthEvery: -1})
+	if err != nil {
+		return nil, err
+	}
+	c.closeFns = append(c.closeFns, rt.Close)
+	rts := httptest.NewServer(rt.Handler())
+	c.closeFns = append(c.closeFns, rts.Close)
+	c.url = rts.URL
+	ok = true
+	return c, nil
+}
+
+// routerMatch posts one /match to the cluster and returns the match count,
+// failing on any non-OK or partial answer (a benchmark over a degraded
+// cluster measures nothing).
+func routerMatch(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url+"/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("router /match: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var mr router.MatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return 0, err
+	}
+	if mr.Partial {
+		return 0, fmt.Errorf("router /match: partial answer (shards %v failed)", mr.ShardsFailed)
+	}
+	return len(mr.Matches), nil
+}
+
+// measureRouterPerf is the closed-loop router row: top-K by probability over
+// the 2-shard cluster, one request at a time, so ns/op is the full routed
+// round trip and is comparable run-to-run (gated by -check like the other
+// serving-path rows).
+func measureRouterPerf(seed int64) (*perfBench, error) {
+	c, err := startRouterCluster(seed)
+	if err != nil {
+		return nil, fmt.Errorf("router-topk10: %w", err)
+	}
+	defer c.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	body, err := json.Marshal(&server.MatchRequest{
+		Query: routerQuery, Alpha: routerAlpha, Order: "prob", Limit: 10,
+	})
+	if err != nil {
+		return nil, err
+	}
+	matches, err := routerMatch(client, c.url, body)
+	if err != nil {
+		return nil, fmt.Errorf("router-topk10: %w", err)
+	}
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := routerMatch(client, c.url, body); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, fmt.Errorf("router-topk10: %w", benchErr)
+	}
+	ns := float64(r.NsPerOp())
+	row := &perfBench{
+		Name:         "router-topk10",
+		NsPerOp:      ns,
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		MatchesPerOp: matches,
+	}
+	if ns > 0 {
+		row.MatchesPerSec = float64(matches) * 1e9 / ns
+	}
+	return row, nil
+}
+
+// measureRouterServing is the open-loop router row: full-collect requests on
+// a fixed arrival schedule against the cluster, latency percentiles recorded
+// client-side (the router is stateless — there is no /stats to consult).
+func measureRouterServing(seed int64) (*servingRow, error) {
+	c, err := startRouterCluster(seed)
+	if err != nil {
+		return nil, fmt.Errorf("router-collect: %w", err)
+	}
+	defer c.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	body, err := json.Marshal(&server.MatchRequest{Query: routerQuery, Alpha: routerAlpha, Limit: 50})
+	if err != nil {
+		return nil, err
+	}
+
+	const (
+		qps      = 100.0
+		duration = 2 * time.Second
+	)
+	var (
+		mu                          sync.Mutex
+		lats                        []float64
+		requests, succeeded, failed uint64
+		wg                          sync.WaitGroup
+	)
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / qps))
+	begin := time.Now()
+	deadline := begin.Add(duration)
+	for now := range ticker.C {
+		if now.After(deadline) {
+			break
+		}
+		requests++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			_, err := routerMatch(client, c.url, body)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed++
+				return
+			}
+			succeeded++
+			lats = append(lats, float64(time.Since(start).Microseconds()))
+		}()
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	sort.Float64s(lats)
+	return &servingRow{
+		Scenario:       "router-collect",
+		DurationMillis: elapsed.Milliseconds(),
+		OfferedQPS:     qps,
+		Requests:       requests,
+		Succeeded:      succeeded,
+		Failed:         failed,
+		P50Micros:      percentile(lats, 0.50),
+		P95Micros:      percentile(lats, 0.95),
+		P99Micros:      percentile(lats, 0.99),
+	}, nil
+}

@@ -112,7 +112,9 @@ func tenantQueries(nLabels int, seed int64) ([]*query.Query, error) {
 }
 
 // newServingDB creates a throwaway live database over a fresh synthetic PGD.
-func newServingDB(ctx context.Context, cfg servingConfig) (*live.DB, error) {
+// The returned directory is the database's backing store; the caller removes
+// it after closing the DB, or every scenario leaks a temp dir.
+func newServingDB(ctx context.Context, cfg servingConfig) (*live.DB, string, error) {
 	d, err := gen.Synthetic(gen.SynthOptions{
 		Refs:          cfg.refs,
 		EdgeFactor:    5,
@@ -120,16 +122,21 @@ func newServingDB(ctx context.Context, cfg servingConfig) (*live.DB, error) {
 		Seed:          cfg.seed,
 	})
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	dir, err := os.MkdirTemp("", "pegbench-serve-*")
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return live.Create(ctx, dir, d, live.Options{
+	db, err := live.Create(ctx, dir, d, live.Options{
 		Index:        pathindex.Options{MaxLen: 2, Beta: 0.02, Gamma: 0.1},
 		CompactEvery: 2048,
 	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", err
+	}
+	return db, dir, nil
 }
 
 // measureServing runs the open-loop scenarios and returns their rows: first
@@ -157,10 +164,11 @@ func runServingScenario(cfg servingConfig, name string, maxCost float64) (*servi
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
-	db, err := newServingDB(ctx, cfg)
+	db, dbDir, err := newServingDB(ctx, cfg)
 	if err != nil {
 		return nil, 0, err
 	}
+	defer os.RemoveAll(dbDir)
 	defer db.Close()
 
 	s := server.New(db.View(), server.Options{
@@ -297,6 +305,20 @@ func runServingScenario(cfg servingConfig, name string, maxCost float64) (*servi
 	resp.Body.Close()
 	if err != nil {
 		return nil, 0, err
+	}
+
+	// Each scenario's server owns a fresh metrics registry, so this scrape
+	// must succeed on every scenario in a run — a second scenario hitting a
+	// shared process-wide registry would have panicked on duplicate
+	// registration at server.New, or double-counted here.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		return nil, 0, err
+	}
+	page, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || !bytes.Contains(page, []byte("peg_requests_total")) {
+		return nil, 0, fmt.Errorf("serving %s: bad /metrics scrape (HTTP %d)", name, mresp.StatusCode)
 	}
 
 	sort.Float64s(lats)

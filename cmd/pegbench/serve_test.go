@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServingScenariosSequential is the registry-safety regression for the
+// serve driver: a -perf run stands up one server per scenario, and each
+// server must own its own metrics registry. With a shared process-wide
+// registry the second scenario would panic on duplicate registration (or
+// carry the first scenario's counters into its /metrics page and stats).
+// The scenario itself scrapes /metrics and fails on a bad page, so this
+// test only has to run two scenarios back to back and sanity-check that
+// the second one's request accounting starts from zero.
+func TestServingScenariosSequential(t *testing.T) {
+	cfg := servingConfig{
+		refs:      200,
+		qps:       40,
+		duration:  400 * time.Millisecond,
+		ingestQPS: 10,
+		alpha:     0.1,
+		seed:      7,
+	}
+	row1, _, err := runServingScenario(cfg, "seq-1", 0)
+	if err != nil {
+		t.Fatalf("first scenario: %v", err)
+	}
+	row2, _, err := runServingScenario(cfg, "seq-2", 0)
+	if err != nil {
+		t.Fatalf("second scenario: %v", err)
+	}
+	if row1.Requests == 0 || row2.Requests == 0 {
+		t.Fatalf("scenarios served no requests: %d, %d", row1.Requests, row2.Requests)
+	}
+	// Identical configs offer ~the same arrivals; cumulative counting
+	// across scenarios would roughly double the second row.
+	if row2.Requests > row1.Requests+row1.Requests/2+5 {
+		t.Fatalf("second scenario counted %d requests vs %d in the first: accounting leaked across scenarios",
+			row2.Requests, row1.Requests)
+	}
+}
+
+// TestRouterPerfRow is a smoke for the gated cluster-tier benchmark row:
+// the in-process 2-shard cluster comes up, answers non-partial, and yields
+// a usable measurement. Skipped in -short mode — it builds two path
+// indexes and runs a closed-loop HTTP benchmark.
+func TestRouterPerfRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster build + closed-loop bench")
+	}
+	row, err := measureRouterPerf(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "router-topk10" || row.NsPerOp <= 0 {
+		t.Fatalf("bad row: %+v", row)
+	}
+	if row.MatchesPerOp == 0 {
+		t.Fatal("router benchmark query matched nothing; the row measures an empty merge")
+	}
+	if row.MatchesPerOp > 10 {
+		t.Fatalf("top-10 request returned %d matches", row.MatchesPerOp)
+	}
+}

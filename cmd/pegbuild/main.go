@@ -5,6 +5,13 @@
 // Usage:
 //
 //	pegbuild -pgd graph.pgd -dir ./index -L 3 -beta 0.1 -gamma 0.1
+//
+// With -shards N it instead runs the cluster-tier build: the PGD is split
+// into N linkage-closure shards, each shard's PGD snapshot and path index
+// are written under -out, and a manifest catalog is published last —
+// the input for N pegserve processes fronted by pegrouter.
+//
+//	pegbuild -pgd graph.pgd -shards 2 -out ./cluster -L 3 -beta 0.1 -gamma 0.1
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"os/signal"
 
 	peg "repro"
+	"repro/internal/pathindex"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -23,14 +32,17 @@ func main() {
 	log.SetPrefix("pegbuild: ")
 	var (
 		pgdPath = flag.String("pgd", "", "input PGD file (required)")
-		dir     = flag.String("dir", "", "output index directory (required)")
+		dir     = flag.String("dir", "", "output index directory (single-index mode)")
+		shards  = flag.Int("shards", 0, "partition into this many shards (cluster mode; requires -out)")
+		out     = flag.String("out", "", "output cluster directory (cluster mode)")
 		maxLen  = flag.Int("L", 3, "maximum indexed path length")
 		beta    = flag.Float64("beta", 0.1, "index construction threshold β")
 		gamma   = flag.Float64("gamma", 0.1, "index resolution γ")
 		workers = flag.Int("workers", 0, "build parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *pgdPath == "" || *dir == "" {
+	cluster := *shards > 0
+	if *pgdPath == "" || (cluster && *out == "") || (!cluster && *dir == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -45,6 +57,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if cluster {
+		m, err := shard.Build(ctx, d, *out, shard.Options{
+			Shards: *shards,
+			Index:  pathindex.Options{MaxLen: *maxLen, Beta: *beta, Gamma: *gamma, Workers: *workers},
+			Logf:   func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %s/%s: %d shards over %d refs, %d sets\n",
+			*out, shard.ManifestName, m.Shards, m.TotalRefs, m.TotalSets)
+		return
+	}
+
 	g, err := peg.BuildGraph(d)
 	if err != nil {
 		log.Fatal(err)
@@ -52,8 +81,6 @@ func main() {
 	fmt.Printf("entity graph: %d nodes, %d edges, %d identity components\n",
 		g.NumNodes(), g.NumEdges(), g.NumComponents())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	ix, err := peg.BuildIndex(ctx, g, peg.IndexOptions{
 		MaxLen: *maxLen, Beta: *beta, Gamma: *gamma, Dir: *dir, Workers: *workers,
 	})

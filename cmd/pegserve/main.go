@@ -89,10 +89,27 @@ func main() {
 		opt.TraceWriter = tf
 	}
 
-	var (
-		srv *peg.Server
-		db  *peg.LiveDB
-	)
+	// Start serving before the index is loaded or built: the server begins
+	// unready (GET /healthz answers 503 ready:false, /healthz/live 200), so
+	// orchestrators and the cluster router can health-check the process
+	// through the whole first build instead of getting connection refused.
+	srv := peg.NewServer(nil, opt)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Connection-level bounds: a client cannot hold a handler open by
+		// trickling its body (read) or draining slowly (write) beyond the
+		// match budget, so Shutdown's grace window really is an upper bound.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 30*time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (not ready: index loading)", *addr)
+
+	var db *peg.LiveDB
 	if *liveMode {
 		liveOpt := peg.LiveOptions{
 			Index:            peg.IndexOptions{MaxLen: *maxLen, Beta: *beta, Gamma: *gamma},
@@ -122,7 +139,7 @@ func main() {
 		st := db.Status()
 		log.Printf("live database: generation %d, %d entities, %d pending mutations",
 			st.Generation, st.Entities, st.Mutations)
-		srv = peg.NewServer(db.View(), opt)
+		srv.SetIndex(db.View())
 		srv.SetLive(db)
 		db.SetPublisher(srv)
 	} else {
@@ -149,24 +166,9 @@ func main() {
 		st := ix.Stats()
 		log.Printf("index: %d entries over %d sequences (%d nodes, %d edges)",
 			st.Entries, st.Sequences, g.NumNodes(), g.NumEdges())
-		srv = peg.NewServer(ix, opt)
+		srv.SetIndex(ix)
 	}
-
-	hs := &http.Server{
-		Addr:    *addr,
-		Handler: srv.Handler(),
-		// Connection-level bounds: a client cannot hold a handler open by
-		// trickling its body (read) or draining slowly (write) beyond the
-		// match budget, so Shutdown's grace window really is an upper bound.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      *timeout + 30*time.Second,
-		IdleTimeout:       120 * time.Second,
-	}
-
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	log.Printf("ready on %s", *addr)
 
 	select {
 	case <-ctx.Done():

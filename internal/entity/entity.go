@@ -177,9 +177,30 @@ type edgeAccum struct {
 
 func (g *Graph) buildEdges(d *refgraph.PGD, refToEnts [][]ID, merge prob.MergeFuncs, nLabels int) error {
 	type pair struct{ a, b ID }
-	acc := make(map[pair]*edgeAccum)
-	var buildErr error
+	// Iterate reference edges in canonical key order, not map order: when
+	// several reference edges contribute to one entity pair, the merge
+	// function sees them in a fixed sequence, so two PGDs holding the same
+	// edges — however they were assembled — build bitwise-identical merged
+	// probabilities. The shard tier's byte-identical scatter-gather merge
+	// depends on this.
+	type keyedEdge struct {
+		k refgraph.EdgeKey
+		e refgraph.EdgeDist
+	}
+	edges := make([]keyedEdge, 0, d.NumEdges())
 	d.Edges(func(k refgraph.EdgeKey, e refgraph.EdgeDist) bool {
+		edges = append(edges, keyedEdge{k, e})
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].k.A != edges[j].k.A {
+			return edges[i].k.A < edges[j].k.A
+		}
+		return edges[i].k.B < edges[j].k.B
+	})
+	acc := make(map[pair]*edgeAccum)
+	for _, ke := range edges {
+		k, e := ke.k, ke.e
 		for _, ea := range refToEnts[k.A] {
 			for _, eb := range refToEnts[k.B] {
 				if ea == eb {
@@ -203,10 +224,6 @@ func (g *Graph) buildEdges(d *refgraph.PGD, refToEnts [][]ID, merge prob.MergeFu
 				}
 			}
 		}
-		return true
-	})
-	if buildErr != nil {
-		return buildErr
 	}
 
 	g.adj = make([][]Neighbor, len(g.nodes))

@@ -1,0 +1,95 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// routerMetrics instruments the scatter-gather path through the shared
+// metrics registry: per-endpoint request outcomes and latency, per-shard
+// call outcomes, latency and hedge counts, merge fan-in, and scrape-time
+// replica health.
+type routerMetrics struct {
+	reg *metrics.Registry
+
+	requests      *metrics.CounterVec   // peg_router_requests_total{endpoint,outcome}
+	latency       *metrics.HistogramVec // peg_router_request_duration_seconds{endpoint}
+	shardRequests *metrics.CounterVec   // peg_router_shard_requests_total{shard,outcome}
+	shardLatency  *metrics.HistogramVec // peg_router_shard_latency_seconds{shard}
+	hedges        *metrics.CounterVec   // peg_router_hedges_total{shard}
+	// mergeCandidates is the buffered-merge fan-in: how many translated
+	// matches entered one /match merge across all shards.
+	mergeCandidates *metrics.Histogram
+}
+
+func newRouterMetrics(r *Router) *routerMetrics {
+	m := &routerMetrics{
+		reg: metrics.NewRegistry(),
+		requests: metrics.NewCounterVec("peg_router_requests_total",
+			"Routed requests by endpoint and terminal outcome (ok, partial, failed, canceled).",
+			"endpoint", "outcome"),
+		latency: metrics.NewHistogramVec("peg_router_request_duration_seconds",
+			"End-to-end routed request latency by endpoint.", "endpoint",
+			metrics.ExpBuckets(1e-4, 4, 11)),
+		shardRequests: metrics.NewCounterVec("peg_router_shard_requests_total",
+			"Per-shard backend calls by outcome (ok, error, or HTTP status).",
+			"shard", "outcome"),
+		shardLatency: metrics.NewHistogramVec("peg_router_shard_latency_seconds",
+			"Per-shard backend call latency (drives the adaptive hedge delay).",
+			"shard", metrics.ExpBuckets(1e-4, 4, 11)),
+		hedges: metrics.NewCounterVec("peg_router_hedges_total",
+			"Hedged backend calls by shard (second replica raced after the hedge delay).",
+			"shard"),
+		mergeCandidates: metrics.NewHistogram("peg_router_merge_candidates",
+			"Matches entering one buffered merge, summed across shards.",
+			metrics.ExpBuckets(1, 4, 12)),
+	}
+	m.reg.MustRegister(
+		m.requests, m.latency, m.shardRequests, m.shardLatency, m.hedges, m.mergeCandidates,
+
+		metrics.NewGaugeFunc("peg_router_shards",
+			"Shards in the served manifest.", func() float64 { return float64(r.manifest.Shards) }),
+		metrics.NewMultiGaugeFunc("peg_router_shard_healthy_replicas",
+			"Healthy replicas per shard (0 = the shard is down and answers go partial).",
+			"shard", func(emit func(string, float64)) {
+				for s, reps := range r.replicas {
+					n := 0
+					for _, rep := range reps {
+						if rep.healthy.Load() {
+							n++
+						}
+					}
+					emit(fmt.Sprint(s), float64(n))
+				}
+			}),
+		metrics.NewMultiGaugeFunc("peg_router_shard_inflight",
+			"In-flight backend calls per shard, summed over replicas.",
+			"shard", func(emit func(string, float64)) {
+				for s, reps := range r.replicas {
+					var n int64
+					for _, rep := range reps {
+						n += rep.inflight.Load()
+					}
+					emit(fmt.Sprint(s), float64(n))
+				}
+			}),
+	)
+	return m
+}
+
+// handleMetrics serves GET /metrics in Prometheus text exposition format,
+// rendered into a buffer first so a slow scraper cannot observe a torn
+// write.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var buf bytes.Buffer
+	r.met.reg.Render(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}

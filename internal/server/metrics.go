@@ -63,6 +63,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Path-index entries in the served generation.", func() float64 {
 				si, release := s.acquireIndex()
 				defer release()
+				if si == nil { // scrape of an unready server
+					return 0
+				}
 				return float64(si.ix.Stats().Entries)
 			}),
 		metrics.NewMultiGaugeFunc("peg_calibration_factor",
@@ -70,6 +73,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"path_len", func(emit func(string, float64)) {
 				si, release := s.acquireIndex()
 				defer release()
+				if si == nil { // scrape of an unready server
+					return
+				}
 				snap := si.calib.Snapshot()
 				lens := make([]int, 0, len(snap))
 				for l := range snap {

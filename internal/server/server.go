@@ -26,7 +26,9 @@
 //	POST /ingest        live.Mutation (single JSON or NDJSON batch) →
 //	                    live.ApplyResult; 501 unless SetLive enabled the
 //	                    write path
-//	GET  /healthz       liveness + index identity
+//	GET  /healthz       readiness: 200 + generation/uptime/index identity
+//	                    once an index is installed, 503 ready:false before
+//	GET  /healthz/live  liveness: 200 as soon as the process serves HTTP
 //	GET  /stats         serving counters (requests, cache hits, rejections,
 //	                    ingest and live-database state)
 //
@@ -159,14 +161,22 @@ type servedIndex struct {
 }
 
 // Server serves match queries over one opened index. Safe for concurrent
-// use; the index may be hot-swapped with SetIndex.
+// use; the index may be hot-swapped with SetIndex. A server constructed
+// with a nil index starts unready: /healthz reports ready:false (503) and
+// the compute endpoints answer 503 until the first SetIndex or Publish —
+// the window a process uses to accept health checks while the first index
+// is still building or loading.
 type Server struct {
-	opt Options
+	opt   Options
+	start time.Time
 
 	mu      sync.RWMutex
 	cur     *servedIndex
 	retired []*servedIndex // swapped-out generations not yet drained
 	gen     atomic.Uint64
+	// swapping counts in-flight index swaps; readiness is false while it is
+	// non-zero so a router health-checker never routes into a publish flip.
+	swapping atomic.Int64
 
 	live *live.DB // nil unless live ingest is enabled
 
@@ -193,11 +203,14 @@ type Server struct {
 }
 
 // New creates a server over an opened index (or any other index reader,
-// e.g. a live database view).
+// e.g. a live database view). A nil index is allowed: the server starts
+// unready — liveness up, readiness and compute endpoints 503 — until the
+// first SetIndex or Publish installs an index.
 func New(ix pathindex.Reader, opt Options) *Server {
 	opt.normalize()
 	s := &Server{
 		opt:   opt,
+		start: time.Now(),
 		sem:   make(chan struct{}, opt.Workers),
 		cache: newLRUCache[cacheKey, *MatchResponse](opt.CacheEntries),
 		plans: newLRUCache[planKey, *plan.Plan](opt.PlanCacheEntries),
@@ -205,7 +218,9 @@ func New(ix pathindex.Reader, opt Options) *Server {
 	// Metrics before the first setIndex so the swap can stamp the index
 	// info gauge; the scrape-time closures only run once /metrics is hit.
 	s.met = newServerMetrics(s)
-	s.setIndex(ix)
+	if ix != nil {
+		s.setIndex(ix)
+	}
 	return s
 }
 
@@ -254,6 +269,8 @@ func (s *Server) DrainObsolete() {
 }
 
 func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
+	s.swapping.Add(1)
+	defer s.swapping.Add(-1)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur
@@ -286,14 +303,23 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 }
 
 // acquireIndex pins the current index generation; callers must call
-// release() when done with it.
+// release() when done with it. On an unready server (no index installed
+// yet) si is nil and release is a no-op — callers must check.
 func (s *Server) acquireIndex() (si *servedIndex, release func()) {
 	s.mu.RLock()
 	si = s.cur
+	if si == nil {
+		s.mu.RUnlock()
+		return nil, func() {}
+	}
 	si.refs.Add(1)
 	s.mu.RUnlock()
 	return si, func() { si.refs.Add(-1) }
 }
+
+// errNotReady answers compute requests on a server whose first index is
+// still building or loading.
+var errNotReady = &httpError{status: http.StatusServiceUnavailable, msg: "index not ready"}
 
 // MatchRequest is the JSON body of /match, /match/stream, and one item of
 // /match/batch.
@@ -320,6 +346,10 @@ type MatchRequest struct {
 	// of any cache key: a traced repeat of a cached query still records a
 	// line, marked cached.
 	Trace bool `json:"trace,omitempty"`
+
+	// requestID is the X-Request-ID header value, captured at decode time so
+	// trace lines carry it. Not part of the JSON body or any cache key.
+	requestID string
 }
 
 // MatchEntry is one probabilistic match in a response.
@@ -490,12 +520,27 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/explain", s.handleExplain)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/healthz/live", s.handleHealthLive)
 	mux.HandleFunc("/stats", s.handleStats)
 	if !s.opt.DisableMetrics {
 		mux.HandleFunc("/metrics", s.handleMetrics)
 	}
-	return mux
+	// Echo the caller's X-Request-ID onto every response — success, error,
+	// or stream — before any handler writes a status, so a request can be
+	// correlated across router, shard, and trace log by one id.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if id := r.Header.Get(RequestIDHeader); id != "" {
+			w.Header().Set(RequestIDHeader, id)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
+
+// RequestIDHeader carries the end-to-end request correlation id. The router
+// generates one per client request (unless the client sent its own) and fans
+// it out to every shard; shards accept it, echo it on the response, and
+// stamp it into their NDJSON trace lines.
+const RequestIDHeader = "X-Request-ID"
 
 // SetLive enables the write path: /ingest mutations are applied to db, and
 // the database publishes every fresh view back through the server's
@@ -585,6 +630,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
+	req.requestID = r.Header.Get(RequestIDHeader)
 	s.requests.Add(1)
 	start := time.Now()
 	fail := func(err error) {
@@ -593,6 +639,10 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	si, release := s.acquireIndex()
 	defer release()
+	if si == nil {
+		fail(errNotReady)
+		return
+	}
 	p, err := s.parseParams(si.ix, &req)
 	if err != nil {
 		fail(err)
@@ -716,6 +766,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
+	req.requestID = r.Header.Get(RequestIDHeader)
 	s.requests.Add(1)
 	start := time.Now()
 	fail := func(err error) {
@@ -724,6 +775,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	si, release := s.acquireIndex()
 	defer release()
+	if si == nil {
+		fail(errNotReady)
+		return
+	}
 	p, err := s.parseParams(si.ix, &req)
 	if err != nil {
 		fail(err)
@@ -761,6 +816,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
+	req.requestID = r.Header.Get(RequestIDHeader)
 	s.requests.Add(1)
 	start := time.Now()
 	res, err := s.evaluate(r.Context(), &req)
@@ -781,6 +837,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, decodeError(err))
 		return
+	}
+	for i := range req.Queries {
+		req.Queries[i].requestID = r.Header.Get(RequestIDHeader)
 	}
 	if len(req.Queries) == 0 {
 		writeError(w, badRequest("empty batch"))
@@ -825,20 +884,70 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &out)
 }
 
+// HealthResponse is the body of GET /healthz (readiness) and
+// GET /healthz/live (liveness). Liveness reports only ok + uptime; the
+// readiness form adds the serving generation and index identity, and
+// answers 503 with ready:false while the first index build/load or a
+// publish swap is in flight — the signal a router health-checker keys on.
+type HealthResponse struct {
+	OK            bool    `json:"ok"`
+	Ready         bool    `json:"ready"`
+	Generation    uint64  `json:"generation"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Index         string  `json:"index,omitempty"`
+	IndexEntries  uint64  `json:"index_entries,omitempty"`
+	Nodes         int     `json:"nodes,omitempty"`
+	Edges         int     `json:"edges,omitempty"`
+	MaxLen        int     `json:"max_len,omitempty"`
+	Beta          float64 `json:"beta,omitempty"`
+}
+
+// handleHealth is the readiness probe: 200 only when an index is installed
+// and no swap is mid-flip, so a shard answering 200 here can serve a match
+// immediately.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := &HealthResponse{
+		Generation:    s.gen.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
 	si, release := s.acquireIndex()
 	defer release()
-	ix, id := si.ix, si.id
+	if si == nil || s.swapping.Load() > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	ix := si.ix
 	st := ix.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":            true,
-		"index":         id,
-		"index_entries": st.Entries,
-		"nodes":         ix.Graph().NumNodes(),
-		"edges":         ix.Graph().NumEdges(),
-		"max_len":       ix.MaxLen(),
-		"beta":          ix.Beta(),
+	resp.OK = true
+	resp.Ready = true
+	resp.Index = si.id
+	resp.IndexEntries = st.Entries
+	resp.Nodes = ix.Graph().NumNodes()
+	resp.Edges = ix.Graph().NumEdges()
+	resp.MaxLen = ix.MaxLen()
+	resp.Beta = ix.Beta()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthLive is the liveness probe: 200 as soon as the process
+// serves HTTP, index or not — restarting on its failure is correct,
+// restarting on readiness failure is not.
+func (s *Server) handleHealthLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &HealthResponse{
+		OK:            true,
+		Ready:         s.Ready(),
+		Generation:    s.gen.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	})
+}
+
+// Ready reports whether the server has an installed index and no swap in
+// flight.
+func (s *Server) Ready() bool {
+	s.mu.RLock()
+	ready := s.cur != nil
+	s.mu.RUnlock()
+	return ready && s.swapping.Load() == 0
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -846,7 +955,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	phits, pmisses, psize := s.plans.stats()
 	si, release := s.acquireIndex()
 	defer release()
-	ix := si.ix
+	var indexEntries uint64
+	if si != nil {
+		indexEntries = si.ix.Stats().Entries
+	}
 	resp := &StatsResponse{
 		Requests:         s.requests.Load(),
 		Succeeded:        s.succeeded.Load(),
@@ -861,7 +973,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PlanCacheMisses:  pmisses,
 		PlanCacheEntries: psize,
 		Workers:          s.opt.Workers,
-		IndexEntries:     ix.Stats().Entries,
+		IndexEntries:     indexEntries,
 		Ingested:         s.ingested.Load(),
 		IngestFailed:     s.ingestFailed.Load(),
 	}
@@ -971,6 +1083,9 @@ func (s *Server) parseParams(ix pathindex.Reader, req *MatchRequest) (*matchPara
 func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchResponse, error) {
 	si, release := s.acquireIndex()
 	defer release()
+	if si == nil {
+		return nil, errNotReady
+	}
 	ix, indexID := si.ix, si.id
 	p, err := s.parseParams(ix, req)
 	if err != nil {
@@ -1245,6 +1360,7 @@ func (s *Server) finishRequest(endpoint string, start time.Time, req *MatchReque
 // after the fact.
 type traceEvent struct {
 	Time           string      `json:"ts"`
+	RequestID      string      `json:"request_id,omitempty"`
 	Endpoint       string      `json:"endpoint"`
 	Outcome        string      `json:"outcome"`
 	DurationMicros float64     `json:"duration_us"`
@@ -1269,6 +1385,7 @@ func (s *Server) traceRequest(endpoint string, elapsed time.Duration, req *Match
 		DurationMicros: plan.Micros(elapsed),
 	}
 	if req != nil {
+		ev.RequestID = req.requestID
 		ev.Query, ev.Alpha, ev.Strategy, ev.Order, ev.Limit =
 			req.Query, req.Alpha, req.Strategy, req.Order, req.Limit
 	}
