@@ -35,10 +35,13 @@ import (
 	"testing"
 	"time"
 
+	"net/http"
+
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/join"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -244,6 +247,9 @@ func runCheck(h *harness.Harness, baseline *perfFile, threshold, allocLimit floa
 	if err := checkMetricsOverhead(rec); err != nil {
 		return err
 	}
+	if err := checkTraceOverhead(rec); err != nil {
+		return err
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d benchmark row(s) regressed more than the threshold (ns/op %.0f%%, allocs/op %.0f%%) vs baseline (%s, main=%d)",
 			failed, 100*threshold, 100*allocLimit, baseline.Date, baseline.MainSize)
@@ -307,6 +313,38 @@ func checkMetricsOverhead(rec *perfFile) error {
 	}
 	fmt.Printf("check metrics-observe       %12.0f ns/op = %.3f%% of match-collect (budget %.0f%%) ok\n",
 		observe.NsPerOp, 100*ratio, 100*metricsOverheadBudget)
+	return nil
+}
+
+// traceOverheadBudget caps trace-overhead ns/op as a fraction of
+// match-collect ns/op: a server built with tracing support but running with
+// it disabled (nil tracer, no sampled context) must pay under 1% next to
+// executing a match — the no-op span path is the price of having the
+// instrumentation compiled in at all.
+const traceOverheadBudget = 0.01
+
+// checkTraceOverhead gates trace-overhead against match-collect within one
+// run (a ratio, so machine-independent — same shape as the metrics gate).
+func checkTraceOverhead(rec *perfFile) error {
+	var overhead, collect *perfBench
+	for i := range rec.Benchmarks {
+		switch rec.Benchmarks[i].Name {
+		case "trace-overhead":
+			overhead = &rec.Benchmarks[i]
+		case "match-collect":
+			collect = &rec.Benchmarks[i]
+		}
+	}
+	if overhead == nil || collect == nil || collect.NsPerOp <= 0 {
+		return fmt.Errorf("trace-overhead gate: rows missing from the measurement")
+	}
+	ratio := overhead.NsPerOp / collect.NsPerOp
+	if ratio > traceOverheadBudget {
+		return fmt.Errorf("disabled-tracing span path %0.f ns/op is %.2f%% of match-collect (%0.f ns/op); budget is %.0f%%",
+			overhead.NsPerOp, 100*ratio, collect.NsPerOp, 100*traceOverheadBudget)
+	}
+	fmt.Printf("check trace-overhead        %12.0f ns/op = %.3f%% of match-collect (budget %.0f%%) ok\n",
+		overhead.NsPerOp, 100*ratio, 100*traceOverheadBudget)
 	return nil
 }
 
@@ -453,6 +491,16 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 			}
 			return 0, nil
 		}},
+		// trace-overhead replays the span operations a request passes through
+		// on a server where tracing is compiled in but disabled (nil tracer,
+		// no remote context): traceparent extraction, root + child StartSpan,
+		// the executor's stage RecordSpans, and the terminal attrs — all
+		// no-ops that must stay under checkTraceOverhead's <1% of
+		// match-collect. The -sampled twin prices the same sequence with a
+		// live tracer recording every span (ring writes, id minting) and is
+		// informational.
+		{"trace-overhead", traceReplay(ctx, nil)},
+		{"trace-overhead-sampled", traceReplay(ctx, trace.New(trace.Config{Service: "bench", Sample: 1}))},
 		{"match-collect-p2", collect(2)},
 		{"match-collect-p4", collect(4)},
 		{"match-topk10-prob-p4", func() (int, error) {
@@ -518,6 +566,34 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 	fmt.Printf("%-22s %12.0f ns/op %8d allocs/op %6d matches %12.0f matches/s\n",
 		routerRow.Name, routerRow.NsPerOp, routerRow.AllocsPerOp, routerRow.MatchesPerOp, routerRow.MatchesPerSec)
 	return &rec, nil
+}
+
+// traceReplay builds the trace-overhead benchmark body: one request's worth
+// of span traffic as the server shapes it — extract, a root request span
+// with attrs, an admission child, five stage RecordSpans, and the settled
+// root. With tr == nil every call is the no-op path the disabled-tracing
+// gate prices; with a sampling tracer the same sequence measures full
+// recording cost.
+func traceReplay(ctx context.Context, tr *trace.Tracer) func() (int, error) {
+	hdr := http.Header{}
+	stages := []string{"stage.plan", "stage.candidates", "stage.build", "stage.reduce", "stage.join"}
+	return func() (int, error) {
+		if sc, ok := trace.Extract(hdr); ok {
+			ctx = trace.ContextWithRemote(ctx, sc)
+		}
+		sctx, sp := tr.StartSpan(ctx, "serve.match")
+		sp.SetAttr("request_id", "bench")
+		_, asp := tr.StartSpan(sctx, "admission")
+		asp.SetAttr("outcome", "ok")
+		asp.End()
+		start := time.Now()
+		for _, st := range stages {
+			tr.RecordSpan(sctx, st, start, time.Microsecond, nil)
+		}
+		sp.SetAttr("outcome", "ok")
+		sp.End()
+		return 0, nil
+	}
 }
 
 func parseInts(s string) []int {

@@ -29,7 +29,9 @@ import (
 	"time"
 
 	"repro/internal/router"
+	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -42,6 +44,10 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 0, "fixed hedge delay for buffered shard calls (0 = adaptive p99, negative disables)")
 		requireAll  = flag.Bool("require-all", false, "fail requests with 502 when any shard fails instead of answering partial:true")
 		healthEvery = flag.Duration("health-every", 2*time.Second, "replica health-poll interval (negative disables)")
+		traceFile   = flag.String("trace", "", "NDJSON per-request trace file (\"-\" = stderr); requests opt in with \"trace\":true")
+		traceAll    = flag.Bool("trace-all", false, "with -trace: trace every request, not only those asking")
+		traceSmp    = flag.Float64("trace-sample", 0, "span tracing: fraction of new root traces to sample (0 disables, 1 = all); spans land in the -trace file as {\"span\":...} lines and in GET /debug/trace/{id}")
+		pprofOn     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listen address (empty disables)")
 	)
 	shards := map[int][]string{}
 	flag.Func("shard", "shard replicas as N=url1,url2 (repeatable; every shard in the manifest needs one)", func(v string) error {
@@ -85,13 +91,38 @@ func main() {
 		}
 	}
 
-	rt, err := router.New(m, router.Options{
+	ropt := router.Options{
 		Replicas:     replicas,
 		ShardTimeout: *timeout,
 		HedgeAfter:   *hedgeAfter,
 		RequireAll:   *requireAll,
 		HealthEvery:  *healthEvery,
-	})
+		TraceAll:     *traceAll,
+	}
+	if *traceFile == "-" {
+		ropt.TraceWriter = os.Stderr
+	} else if *traceFile != "" {
+		tf, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tf.Close()
+		ropt.TraceWriter = tf
+	}
+	if *traceSmp > 0 {
+		ropt.Tracer = trace.New(trace.Config{
+			Service: "pegrouter",
+			Sample:  *traceSmp,
+			Export:  ropt.TraceWriter, // nil keeps spans ring-only
+		})
+	}
+	if *pprofOn != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofOn)
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofOn, server.PprofHandler()))
+		}()
+	}
+	rt, err := router.New(m, ropt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	peg "repro"
+	ptrace "repro/internal/trace"
 )
 
 func main() {
@@ -56,6 +57,8 @@ func main() {
 		maxCost  = flag.Float64("max-cost", 0, "cost-based admission: reject queries whose calibrated plan-cost estimate exceeds this with 429 (0 disables)")
 		trace    = flag.String("trace", "", "NDJSON per-query trace file (\"-\" = stderr); requests opt in with \"trace\":true")
 		traceAll = flag.Bool("trace-all", false, "with -trace: trace every request, not only those asking")
+		traceSmp = flag.Float64("trace-sample", 0, "span tracing: fraction of new root traces to sample (0 disables, 1 = all); spans land in the -trace file as {\"span\":...} lines and in GET /debug/trace/{id}")
+		pprofOn  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listen address (empty disables)")
 		build    = flag.Bool("build", false, "build the index first if dir has none")
 		maxLen   = flag.Int("L", 3, "index path length when building")
 		beta     = flag.Float64("beta", 0.1, "index construction threshold β when building")
@@ -87,6 +90,19 @@ func main() {
 		}
 		defer tf.Close()
 		opt.TraceWriter = tf
+	}
+	if *traceSmp > 0 {
+		opt.Tracer = ptrace.New(ptrace.Config{
+			Service: "pegserve",
+			Sample:  *traceSmp,
+			Export:  opt.TraceWriter, // nil keeps spans ring-only
+		})
+	}
+	if *pprofOn != "" {
+		go func() {
+			log.Printf("pprof listening on %s", *pprofOn)
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofOn, peg.PprofHandler()))
+		}()
 	}
 
 	// Start serving before the index is loaded or built: the server begins

@@ -432,3 +432,42 @@ func (v *HistogramVec) SortedLabelValues() []string {
 	sort.Strings(out)
 	return out
 }
+
+// TextFamily is a pre-rendered family: a HELP/TYPE header plus sample
+// lines already in Prometheus text format. It is how the router's
+// /metrics/cluster federation re-exports families scraped from shard
+// replicas through an ordinary Registry — the scraper parses each
+// replica's page, injects shard/replica labels into the sample lines, and
+// registers one TextFamily per merged family.
+type TextFamily struct {
+	name, help, typ string
+	samples         []string
+}
+
+// NewTextFamily returns a pass-through family. typ defaults to "untyped";
+// each sample must be a complete text-format line without the newline.
+func NewTextFamily(name, help, typ string, samples []string) *TextFamily {
+	if typ == "" {
+		typ = "untyped"
+	}
+	if help == "" {
+		help = "federated family"
+	}
+	return &TextFamily{name: name, help: help, typ: typ, samples: samples}
+}
+
+// Append adds more pre-rendered sample lines (e.g. the same family from
+// another replica).
+func (f *TextFamily) Append(samples ...string) { f.samples = append(f.samples, samples...) }
+
+// Name implements Collector.
+func (f *TextFamily) Name() string { return f.name }
+
+// Collect implements Collector.
+func (f *TextFamily) Collect(w io.Writer) {
+	header(w, f.name, f.help, f.typ)
+	for _, s := range f.samples {
+		io.WriteString(w, s)
+		io.WriteString(w, "\n")
+	}
+}

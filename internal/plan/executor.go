@@ -86,7 +86,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 		}
 	}
 	st.Stages = append(st.Stages, StageStats{
-		Name: "candidates", Micros: Micros(st.CandidateTime),
+		Name: "candidates", Micros: Micros(st.CandidateTime), StartMicros: Micros(t0.Sub(start)),
 		EstRows: estTotal, ObsRows: obsTotal, Pruned: pruned,
 	})
 
@@ -98,7 +98,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.BuildTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
-		Name: "build", Micros: Micros(st.BuildTime),
+		Name: "build", Micros: Micros(st.BuildTime), StartMicros: Micros(t0.Sub(start)),
 		ObsRows: float64(kg.NumLinks()),
 	})
 
@@ -127,7 +127,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.ReduceTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
-		Name: "reduce", Micros: Micros(st.ReduceTime),
+		Name: "reduce", Micros: Micros(st.ReduceTime), StartMicros: Micros(t0.Sub(start)),
 		EstRows: ssBefore, ObsRows: st.SSFinal, Pruned: int64(before - after),
 	})
 
@@ -163,7 +163,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.JoinTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
-		Name: "join", Micros: Micros(st.JoinTime),
+		Name: "join", Micros: Micros(st.JoinTime), StartMicros: Micros(t0.Sub(start)),
 		EstRows: st.SSFinal, ObsRows: float64(st.Matched),
 	})
 	st.Total = time.Since(start)

@@ -162,6 +162,11 @@ type StageStats struct {
 	// (Truncating to whole microseconds made every plan-cache-hit planning
 	// time — and most fast stages — invisible.)
 	Micros float64 `json:"us"`
+	// StartMicros is the stage's start offset from the beginning of the
+	// run, in the same float-microsecond unit. It lets a caller that
+	// recorded the run's wall-clock start reconstruct exact stage
+	// timelines — the serving tier converts these rows into trace spans.
+	StartMicros float64 `json:"start_us,omitempty"`
 	// EstRows / ObsRows are the estimated and observed cardinalities at the
 	// stage's granularity (candidate totals, search-space sizes, matches).
 	EstRows float64 `json:"est_rows,omitempty"`

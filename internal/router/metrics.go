@@ -6,6 +6,8 @@ import (
 	"net/http"
 
 	"repro/internal/metrics"
+	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // routerMetrics instruments the scatter-gather path through the shared
@@ -77,6 +79,7 @@ func newRouterMetrics(r *Router) *routerMetrics {
 				}
 			}),
 	)
+	m.reg.MustRegister(server.TraceCollectors(func() trace.Stats { return r.opt.Tracer.Stats() })...)
 	return m
 }
 

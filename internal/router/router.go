@@ -28,6 +28,8 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/trace"
 )
 
 // Options configures a Router.
@@ -61,6 +64,18 @@ type Options struct {
 	Client *http.Client
 	// DisableMetrics leaves GET /metrics unregistered.
 	DisableMetrics bool
+	// Tracer enables span-structured distributed tracing: a root span per
+	// request, a child span per shard attempt (annotated with the replica
+	// and the failover/hedge cause), traceparent + deadline propagation to
+	// shards, and GET /debug/trace/{id} over the ring buffer.
+	Tracer *trace.Tracer
+	// TraceWriter receives one NDJSON request-trace line per finished
+	// request when tracing is selected (TraceAll, or the request's trace
+	// flag) — the same event shape pegserve writes, with trace_id, so
+	// router and shard trace lines correlate. Nil disables it.
+	TraceWriter io.Writer
+	// TraceAll traces every request instead of only those asking for it.
+	TraceAll bool
 }
 
 func (o *Options) normalize() {
@@ -131,7 +146,8 @@ type Router struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
-	met *routerMetrics
+	met     *routerMetrics
+	traceMu sync.Mutex // serializes NDJSON trace lines onto TraceWriter
 }
 
 // New builds a router over a loaded manifest and starts the replica health
@@ -278,15 +294,60 @@ type shardError struct {
 
 func (e *shardError) Error() string { return e.msg }
 
+// propagate stamps cross-process context onto one outbound shard request:
+// the trace context (the attempt span's, so shard-side spans parent to the
+// attempt; the client's own context passes through when the router has no
+// tracer) and the remaining deadline budget, so a shard stops working for
+// an attempt the router has already abandoned.
+func propagate(ctx context.Context, sp *trace.Span, h http.Header) {
+	if sc := sp.Context(); sc.Valid() {
+		trace.Inject(sc, h)
+	} else if rsc, ok := trace.RemoteFromContext(ctx); ok {
+		trace.Inject(rsc, h)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			h.Set(server.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+}
+
+// startAttempt opens the per-attempt child span. cause records why this
+// attempt launched: "primary", "failover", or "hedge".
+func (r *Router) startAttempt(ctx context.Context, name string, s int, rep *replica, cause string) *trace.Span {
+	_, sp := r.opt.Tracer.StartSpan(ctx, name)
+	sp.SetAttr("shard", strconv.Itoa(s))
+	sp.SetAttr("replica", rep.url)
+	sp.SetAttr("cause", cause)
+	return sp
+}
+
+// endAttempt settles an attempt span with its outcome ("ok", "error", or
+// the backend's HTTP status).
+func endAttempt(sp *trace.Span, outcome string, err error) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("outcome", outcome)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+}
+
 // doOnce issues one POST to one replica and reads the whole response,
-// recording latency and in-flight accounting.
-func (r *Router) doOnce(ctx context.Context, s int, rep *replica, path string, body []byte, reqID string) ([]byte, error) {
+// recording latency, in-flight accounting, and the attempt span.
+func (r *Router) doOnce(ctx context.Context, s int, rep *replica, path string, body []byte, reqID, cause string) ([]byte, error) {
+	asp := r.startAttempt(ctx, "shard.attempt", s, rep, cause)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, &shardError{msg: err.Error()}
+		e := &shardError{msg: err.Error()}
+		endAttempt(asp, "error", e)
+		return nil, e
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(server.RequestIDHeader, reqID)
+	propagate(ctx, asp, req.Header)
 	rep.inflight.Add(1)
 	start := time.Now()
 	resp, err := r.opt.Client.Do(req)
@@ -297,13 +358,17 @@ func (r *Router) doOnce(ctx context.Context, s int, rep *replica, path string, b
 	r.met.shardLatency.WithLabelValue(shardLabel).Observe(elapsed)
 	if err != nil {
 		r.met.shardRequests.WithLabelValues(shardLabel, "error").Inc()
-		return nil, &shardError{msg: err.Error()}
+		e := &shardError{msg: err.Error()}
+		endAttempt(asp, "error", e)
+		return nil, e
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
 		r.met.shardRequests.WithLabelValues(shardLabel, "error").Inc()
-		return nil, &shardError{msg: err.Error()}
+		e := &shardError{msg: err.Error()}
+		endAttempt(asp, "error", e)
+		return nil, e
 	}
 	if resp.StatusCode != http.StatusOK {
 		r.met.shardRequests.WithLabelValues(shardLabel, fmt.Sprint(resp.StatusCode)).Inc()
@@ -314,9 +379,12 @@ func (r *Router) doOnce(ctx context.Context, s int, rep *replica, path string, b
 		if json.Unmarshal(b, &je) == nil && je.Error != "" {
 			msg = fmt.Sprintf("shard %d: %s", s, je.Error)
 		}
-		return nil, &shardError{status: resp.StatusCode, msg: msg}
+		e := &shardError{status: resp.StatusCode, msg: msg}
+		endAttempt(asp, strconv.Itoa(resp.StatusCode), e)
+		return nil, e
 	}
 	r.met.shardRequests.WithLabelValues(shardLabel, "ok").Inc()
+	endAttempt(asp, "ok", nil)
 	return b, nil
 }
 
@@ -334,19 +402,19 @@ func (r *Router) callShard(ctx context.Context, s int, path string, body []byte,
 	}
 	ch := make(chan result, len(r.replicas[s]))
 	tried := make(map[*replica]bool)
-	launch := func() bool {
+	launch := func(cause string) bool {
 		rep := r.pick(s, tried)
 		if rep == nil {
 			return false
 		}
 		tried[rep] = true
 		go func() {
-			b, err := r.doOnce(cctx, s, rep, path, body, reqID)
+			b, err := r.doOnce(cctx, s, rep, path, body, reqID, cause)
 			ch <- result{b, err}
 		}()
 		return true
 	}
-	if !launch() {
+	if !launch("primary") {
 		return nil, &shardError{msg: fmt.Sprintf("shard %d: no replicas", s)}
 	}
 	inFlight := 1
@@ -372,14 +440,14 @@ func (r *Router) callShard(ctx context.Context, s int, path string, body []byte,
 			if errors.As(res.err, &se) && se.status >= 400 && se.status < 500 {
 				return nil, res.err
 			}
-			if launch() {
+			if launch("failover") {
 				inFlight++
 			} else if inFlight == 0 {
 				return nil, lastErr
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			if launch() {
+			if launch("hedge") {
 				inFlight++
 				r.met.hedges.WithLabelValues(fmt.Sprint(s)).Inc()
 			}
@@ -410,6 +478,104 @@ func (r *Router) requestID(w http.ResponseWriter, req *http.Request) string {
 	}
 	w.Header().Set(server.RequestIDHeader, id)
 	return id
+}
+
+// reqState threads one routed request's observability context — endpoint,
+// wall-clock start, correlation id, root span, decoded body — to its
+// terminal settle call.
+type reqState struct {
+	endpoint string
+	start    time.Time
+	reqID    string
+	sp       *trace.Span
+	mr       *server.MatchRequest // nil until parseRequest succeeds
+}
+
+// startRequest opens the router-side observability context for one
+// request: the correlation id (echoed onto the response) and, with a
+// tracer configured, the root span — continuing the client's traceparent
+// when one was sent. The returned context carries the span (or the raw
+// remote context when tracing is off, so it can pass through to shards).
+func (r *Router) startRequest(w http.ResponseWriter, req *http.Request, endpoint, spanName string) (context.Context, *reqState) {
+	st := &reqState{endpoint: endpoint, start: time.Now(), reqID: r.requestID(w, req)}
+	ctx := req.Context()
+	if sc, ok := trace.Extract(req.Header); ok {
+		ctx = trace.ContextWithRemote(ctx, sc)
+	}
+	if r.opt.Tracer != nil {
+		ctx, st.sp = r.opt.Tracer.StartSpan(ctx, spanName)
+		st.sp.SetAttr("request_id", st.reqID)
+	}
+	return ctx, st
+}
+
+// settle is the single terminal path of a routed request: metrics, the
+// root span, and — when tracing selects this request — one NDJSON trace
+// line in the same event shape pegserve writes.
+func (r *Router) settle(st *reqState, outcome string, err error, matches int, failed []int) {
+	r.finish(st.endpoint, st.start, outcome)
+	if st.sp != nil {
+		st.sp.SetAttr("outcome", outcome)
+		if err != nil {
+			st.sp.SetAttr("error", err.Error())
+		}
+		if len(failed) > 0 {
+			st.sp.SetAttr("shards_failed", fmt.Sprint(failed))
+		}
+		st.sp.End()
+	}
+	if r.opt.TraceWriter == nil || !(r.opt.TraceAll || (st.mr != nil && st.mr.Trace)) {
+		return
+	}
+	ev := routerTraceEvent{
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		TraceID:        st.sp.TraceID(),
+		RequestID:      st.reqID,
+		Endpoint:       st.endpoint,
+		Outcome:        outcome,
+		DurationMicros: float64(time.Since(st.start).Nanoseconds()) / 1e3,
+		Matches:        matches,
+		ShardsFailed:   failed,
+		Partial:        outcome == "partial",
+	}
+	if st.mr != nil {
+		ev.Query, ev.Alpha, ev.Strategy, ev.Order, ev.Limit =
+			st.mr.Query, st.mr.Alpha, st.mr.Strategy, st.mr.Order, st.mr.Limit
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	line, merr := json.Marshal(&ev)
+	if merr != nil {
+		return
+	}
+	line = append(line, '\n')
+	r.traceMu.Lock()
+	_, _ = r.opt.TraceWriter.Write(line)
+	r.traceMu.Unlock()
+}
+
+// routerTraceEvent is the router's NDJSON request-trace line: the same
+// shape as pegserve's traceEvent (so one jq filter reads both logs) plus
+// the router-only partial/shards_failed fields. The shared trace_id is
+// what lets the cluster smoke correlate a router line with the shard
+// lines it fanned out to.
+type routerTraceEvent struct {
+	Time           string  `json:"ts"`
+	TraceID        string  `json:"trace_id,omitempty"`
+	RequestID      string  `json:"request_id,omitempty"`
+	Endpoint       string  `json:"endpoint"`
+	Outcome        string  `json:"outcome"`
+	DurationMicros float64 `json:"duration_us"`
+	Query          string  `json:"query,omitempty"`
+	Alpha          float64 `json:"alpha,omitempty"`
+	Strategy       string  `json:"strategy,omitempty"`
+	Order          string  `json:"order,omitempty"`
+	Limit          int     `json:"limit,omitempty"`
+	Error          string  `json:"error,omitempty"`
+	Matches        int     `json:"matches,omitempty"`
+	Partial        bool    `json:"partial,omitempty"`
+	ShardsFailed   []int   `json:"shards_failed,omitempty"`
 }
 
 // parseRequest decodes and pre-validates one match request at the router:
@@ -563,18 +729,18 @@ func (r *Router) handleMatch(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	reqID := r.requestID(w, req)
-	start := time.Now()
+	ctx, st := r.startRequest(w, req, "match", "router.match")
 	mr, body, err := r.parseRequest(req, w)
 	if err != nil {
-		r.finish("match", start, "failed")
+		r.settle(st, "failed", err, 0, nil)
 		writeShardError(w, err)
 		return
 	}
-	bodies, failedShards, errs := r.scatter(req.Context(), "/match", body, reqID)
+	st.mr = mr
+	bodies, failedShards, errs := r.scatter(ctx, "/match", body, st.reqID)
 	if len(failedShards) > 0 {
 		if fe := r.failNow(failedShards, errs); fe != nil {
-			r.finish("match", start, "failed")
+			r.settle(st, "failed", fe, 0, failedShards)
 			writeShardError(w, fe)
 			return
 		}
@@ -590,13 +756,14 @@ func (r *Router) handleMatch(w http.ResponseWriter, req *http.Request) {
 		}
 		var sr server.MatchResponse
 		if err := json.Unmarshal(b, &sr); err != nil {
-			r.finish("match", start, "failed")
-			writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %d: malformed response: %v", s, err))
+			ge := fmt.Errorf("shard %d: malformed response: %v", s, err)
+			r.settle(st, "failed", ge, 0, failedShards)
+			writeError(w, http.StatusBadGateway, ge.Error())
 			return
 		}
 		for i := range sr.Matches {
 			if err := r.translate(s, &sr.Matches[i]); err != nil {
-				r.finish("match", start, "failed")
+				r.settle(st, "failed", err, 0, failedShards)
 				writeError(w, http.StatusBadGateway, err.Error())
 				return
 			}
@@ -631,9 +798,9 @@ func (r *Router) handleMatch(w http.ResponseWriter, req *http.Request) {
 	if len(failedShards) > 0 {
 		out.Partial = true
 		out.ShardsFailed = failedShards
-		r.finish("match", start, "partial")
+		r.settle(st, "partial", nil, out.NumMatches, failedShards)
 	} else {
-		r.finish("match", start, "ok")
+		r.settle(st, "ok", nil, out.NumMatches, nil)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -680,18 +847,18 @@ func (r *Router) handleExplain(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	reqID := r.requestID(w, req)
-	start := time.Now()
-	_, body, err := r.parseRequest(req, w)
+	ctx, st := r.startRequest(w, req, "explain", "router.explain")
+	mr, body, err := r.parseRequest(req, w)
 	if err != nil {
-		r.finish("explain", start, "failed")
+		r.settle(st, "failed", err, 0, nil)
 		writeShardError(w, err)
 		return
 	}
-	bodies, failedShards, errs := r.scatter(req.Context(), "/explain", body, reqID)
+	st.mr = mr
+	bodies, failedShards, errs := r.scatter(ctx, "/explain", body, st.reqID)
 	if len(failedShards) > 0 {
 		if fe := r.failNow(failedShards, errs); fe != nil {
-			r.finish("explain", start, "failed")
+			r.settle(st, "failed", fe, 0, failedShards)
 			writeShardError(w, fe)
 			return
 		}
@@ -706,9 +873,9 @@ func (r *Router) handleExplain(w http.ResponseWriter, req *http.Request) {
 	if len(failedShards) > 0 {
 		out.Partial = true
 		out.ShardsFailed = failedShards
-		r.finish("explain", start, "partial")
+		r.settle(st, "partial", nil, 0, failedShards)
 	} else {
-		r.finish("explain", start, "ok")
+		r.settle(st, "ok", nil, 0, nil)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -760,10 +927,37 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/explain", r.handleExplain)
 	mux.HandleFunc("/healthz", r.handleHealth)
 	mux.HandleFunc("/healthz/live", r.handleHealthLive)
+	mux.HandleFunc("/debug/trace/", r.handleDebugTrace)
 	if !r.opt.DisableMetrics {
 		mux.HandleFunc("/metrics", r.handleMetrics)
+		mux.HandleFunc("/metrics/cluster", r.handleMetricsCluster)
 	}
 	return mux
+}
+
+// handleDebugTrace serves the router's half of a trace waterfall from the
+// ring buffer — same response shape as the shards' endpoint, so a client
+// can fetch /debug/trace/{id} from the router and every shard and merge.
+func (r *Router) handleDebugTrace(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if r.opt.Tracer == nil {
+		writeError(w, http.StatusNotFound, "span tracing disabled (start with -trace-sample > 0)")
+		return
+	}
+	id := strings.TrimPrefix(req.URL.Path, "/debug/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusBadRequest, "want /debug/trace/{trace-id}")
+		return
+	}
+	spans := r.opt.Tracer.Collect(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "no spans recorded for trace "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, &server.TraceResponse{TraceID: id, Spans: spans})
 }
 
 func (r *Router) finish(endpoint string, start time.Time, outcome string) {

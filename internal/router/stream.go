@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // StreamDone is the terminal NDJSON line of a routed /match/stream: the
@@ -50,6 +52,7 @@ type shardStream struct {
 func (r *Router) openShardStream(ctx context.Context, s int, body []byte, reqID string) (*http.Response, error) {
 	tried := make(map[*replica]bool)
 	var lastErr error
+	cause := "primary"
 	for {
 		rep := r.pick(s, tried)
 		if rep == nil {
@@ -59,17 +62,25 @@ func (r *Router) openShardStream(ctx context.Context, s int, body []byte, reqID 
 			return nil, lastErr
 		}
 		tried[rep] = true
+		// The attempt span covers open-to-first-byte: the stream body's
+		// lifetime is the pump's "shard.stream" span.
+		asp := r.startAttempt(ctx, "shard.attempt", s, rep, cause)
+		cause = "failover"
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+"/match/stream", bytes.NewReader(body))
 		if err != nil {
-			return nil, &shardError{msg: err.Error()}
+			e := &shardError{msg: err.Error()}
+			endAttempt(asp, "error", e)
+			return nil, e
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(server.RequestIDHeader, reqID)
+		propagate(ctx, asp, req.Header)
 		resp, err := r.opt.Client.Do(req)
 		shardLabel := fmt.Sprint(s)
 		if err != nil {
 			r.met.shardRequests.WithLabelValues(shardLabel, "error").Inc()
 			lastErr = &shardError{msg: fmt.Sprintf("shard %d: %v", s, err)}
+			endAttempt(asp, "error", lastErr)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
@@ -83,6 +94,7 @@ func (r *Router) openShardStream(ctx context.Context, s int, body []byte, reqID 
 			}
 			resp.Body.Close()
 			se := &shardError{status: resp.StatusCode, msg: msg}
+			endAttempt(asp, fmt.Sprint(se.status), se)
 			if se.status >= 400 && se.status < 500 {
 				return nil, se // the request's own fault; no replica will differ
 			}
@@ -90,6 +102,7 @@ func (r *Router) openShardStream(ctx context.Context, s int, body []byte, reqID 
 			continue
 		}
 		r.met.shardRequests.WithLabelValues(shardLabel, "ok").Inc()
+		endAttempt(asp, "ok", nil)
 		return resp, nil
 	}
 }
@@ -108,6 +121,16 @@ func readSmall(resp *http.Response) ([]byte, error) {
 // unbounded buffering anywhere.
 func (r *Router) pump(ctx context.Context, ss *shardStream, out chan<- server.MatchEntry) {
 	defer ss.resp.Body.Close()
+	if r.opt.Tracer != nil && trace.SpanFromContext(ctx).Sampled() {
+		pstart := time.Now()
+		defer func() {
+			attrs := map[string]string{"shard": strconv.Itoa(ss.s)}
+			if ss.err != nil {
+				attrs["error"] = ss.err.Error()
+			}
+			r.opt.Tracer.RecordSpan(ctx, "shard.stream", pstart, time.Since(pstart), attrs)
+		}()
+	}
 	sc := bufio.NewScanner(ss.resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	for sc.Scan() {
@@ -160,17 +183,17 @@ func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	reqID := r.requestID(w, req)
-	start := time.Now()
+	rctx, st := r.startRequest(w, req, "stream", "router.stream")
 	mr, body, err := r.parseRequest(req, w)
 	if err != nil {
-		r.finish("stream", start, "failed")
+		r.settle(st, "failed", err, 0, nil)
 		writeShardError(w, err)
 		return
 	}
+	st.mr = mr
 	_, orderName, _ := server.ParseOrder(mr.Order)
 
-	ctx, cancel := context.WithTimeout(req.Context(), r.opt.ShardTimeout)
+	ctx, cancel := context.WithTimeout(rctx, r.opt.ShardTimeout)
 	defer cancel()
 
 	// Open every shard stream before the first byte goes out, so an
@@ -186,7 +209,7 @@ func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
 		go func(s int) {
 			defer wg.Done()
 			ss := &shardStream{s: s}
-			resp, err := r.openShardStream(ctx, s, body, reqID)
+			resp, err := r.openShardStream(ctx, s, body, st.reqID)
 			if err != nil {
 				ss.err = err
 				mu.Lock()
@@ -208,7 +231,7 @@ func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
 					ss.resp.Body.Close()
 				}
 			}
-			r.finish("stream", start, "failed")
+			r.settle(st, "failed", fe, 0, openFailed)
 			writeShardError(w, fe)
 			return
 		}
@@ -289,7 +312,7 @@ func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
 	pumps.Wait()
 	limitCut := stopped && !clientGone
 	if clientGone {
-		r.finish("stream", start, "canceled")
+		r.settle(st, "canceled", nil, emitted, nil)
 		return
 	}
 
@@ -322,14 +345,15 @@ func (r *Router) handleMatchStream(w http.ResponseWriter, req *http.Request) {
 		if r.opt.RequireAll {
 			// Mid-stream failure under RequireAll: the answer is incomplete
 			// and must not masquerade as success — terminal error line.
-			_ = enc.Encode(&streamEvent{Error: fmt.Sprintf("%d/%d shards failed mid-stream", len(done.ShardsFailed), n)})
-			r.finish("stream", start, "failed")
+			ferr := fmt.Errorf("%d/%d shards failed mid-stream", len(done.ShardsFailed), n)
+			_ = enc.Encode(&streamEvent{Error: ferr.Error()})
+			r.settle(st, "failed", ferr, emitted, done.ShardsFailed)
 			return
 		}
 		done.Partial = true
-		r.finish("stream", start, "partial")
+		r.settle(st, "partial", nil, emitted, done.ShardsFailed)
 	} else {
-		r.finish("stream", start, "ok")
+		r.settle(st, "ok", nil, emitted, nil)
 	}
 	_ = enc.Encode(&streamEvent{Done: done})
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Request outcome classes: the label values on peg_requests_total and the
@@ -118,7 +119,36 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 		&liveCollector{s: s},
 	)
+	m.reg.MustRegister(TraceCollectors(func() trace.Stats { return s.opt.Tracer.Stats() })...)
 	return m
+}
+
+// TraceCollectors builds the peg_trace_* families over a tracer-stats
+// snapshot function. Shared with the router so both halves of the serving
+// tier export identical tracing telemetry; the families render zeros when
+// tracing is disabled (Stats on a nil tracer), keeping the page shape
+// stable.
+func TraceCollectors(stats func() trace.Stats) []metrics.Collector {
+	return []metrics.Collector{
+		metrics.NewCounterFunc("peg_trace_spans_recorded_total",
+			"Finished spans recorded into the trace ring buffer.",
+			func() float64 { return float64(stats().Recorded) }),
+		metrics.NewCounterFunc("peg_trace_spans_dropped_total",
+			"Ring-buffer spans overwritten before being read.",
+			func() float64 { return float64(stats().Dropped) }),
+		metrics.NewCounterFunc("peg_trace_spans_exported_total",
+			"Spans exported as NDJSON lines.",
+			func() float64 { return float64(stats().Exported) }),
+		metrics.NewCounterFunc("peg_trace_sampled_roots_total",
+			"New root spans the head sampler kept.",
+			func() float64 { return float64(stats().Sampled) }),
+		metrics.NewCounterFunc("peg_trace_unsampled_roots_total",
+			"New root spans the head sampler discarded.",
+			func() float64 { return float64(stats().Unsampled) }),
+		metrics.NewCounterFunc("peg_trace_inherited_contexts_total",
+			"Remote trace contexts continued (sampling decision inherited).",
+			func() float64 { return float64(stats().Inherited) }),
+	}
 }
 
 // observeStages feeds one fresh (non-cached) execution's stage timings into

@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,7 @@ import (
 	"repro/internal/pathindex"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/trace"
 )
 
 // Options configures a Server.
@@ -108,6 +110,13 @@ type Options struct {
 	TraceWriter io.Writer
 	// TraceAll traces every request instead of only those asking for it.
 	TraceAll bool
+	// Tracer enables span-structured distributed tracing: the server
+	// continues a traceparent context from the router (or opens a new root),
+	// emits child spans for admission, plan-cache lookup, planning, and
+	// every executor stage, and serves the ring buffer at
+	// GET /debug/trace/{id}. Nil disables span tracing; the NDJSON request
+	// tracer above is independent of it.
+	Tracer *trace.Tracer
 	// DisableMetrics leaves GET /metrics unregistered. The instruments still
 	// run (they are nanoseconds per request); only the scrape endpoint goes
 	// away, for deployments that must not expose internals on the serving
@@ -350,6 +359,14 @@ type MatchRequest struct {
 	// requestID is the X-Request-ID header value, captured at decode time so
 	// trace lines carry it. Not part of the JSON body or any cache key.
 	requestID string
+	// traceID is the hex trace id of the request's span (when the server
+	// has a Tracer), stamped into NDJSON trace lines so flat request events
+	// and span waterfalls correlate.
+	traceID string
+	// deadlineMillis is the router's remaining per-shard budget from the
+	// X-Peg-Deadline-Ms header. Folded into the request timeout exactly
+	// like timeout_ms: it can lower the deadline, never raise it.
+	deadlineMillis int64
 }
 
 // MatchEntry is one probabilistic match in a response.
@@ -522,6 +539,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/healthz/live", s.handleHealthLive)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/debug/trace/", s.handleDebugTrace)
 	if !s.opt.DisableMetrics {
 		mux.HandleFunc("/metrics", s.handleMetrics)
 	}
@@ -541,6 +559,96 @@ func (s *Server) Handler() http.Handler {
 // it out to every shard; shards accept it, echo it on the response, and
 // stamp it into their NDJSON trace lines.
 const RequestIDHeader = "X-Request-ID"
+
+// DeadlineHeader carries the router's remaining per-shard deadline budget
+// in whole milliseconds. A shard folds it into its request timeout, so
+// work for an attempt the router has already given up on (timeout,
+// hedged-and-lost) is cancelled shard-side instead of running to
+// completion and polluting calibration and latency histograms.
+const DeadlineHeader = "X-Peg-Deadline-Ms"
+
+// captureHTTP records the propagation headers of one decoded request:
+// the correlation id and the router's remaining deadline budget. (The
+// traceparent context is read by startRequestSpan, which needs the
+// header map anyway.)
+func (s *Server) captureHTTP(r *http.Request, req *MatchRequest) {
+	req.requestID = r.Header.Get(RequestIDHeader)
+	if v := r.Header.Get(DeadlineHeader); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			req.deadlineMillis = ms
+		}
+	}
+}
+
+// startRequestSpan opens the server-side root span for one request,
+// continuing the remote traceparent context when one was propagated
+// (inheriting its sampling decision), and stamps the trace id into the
+// request for the NDJSON tracer.
+func (s *Server) startRequestSpan(r *http.Request, req *MatchRequest, name string) (context.Context, *trace.Span) {
+	ctx := r.Context()
+	if s.opt.Tracer == nil {
+		return ctx, nil
+	}
+	if sc, ok := trace.Extract(r.Header); ok {
+		ctx = trace.ContextWithRemote(ctx, sc)
+	}
+	ctx, sp := s.opt.Tracer.StartSpan(ctx, name)
+	if req != nil {
+		req.traceID = sp.TraceID()
+		if req.requestID != "" {
+			sp.SetAttr("request_id", req.requestID)
+		}
+	}
+	return ctx, sp
+}
+
+// endRequestSpan settles a root span with the request's terminal state.
+func endRequestSpan(sp *trace.Span, err error, res *MatchResponse) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("outcome", outcomeOf(err))
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	if res != nil {
+		sp.SetAttr("matches", strconv.Itoa(res.NumMatches))
+		if res.Cached {
+			sp.SetAttr("cached", "true")
+		}
+	}
+	sp.End()
+}
+
+// TraceResponse answers GET /debug/trace/{id}: the spans the in-process
+// ring recorder still holds for one trace, oldest first. The router
+// serves the same shape for its half of the waterfall.
+type TraceResponse struct {
+	TraceID string           `json:"trace_id"`
+	Spans   []trace.SpanData `json:"spans"`
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed, msg: "GET required"})
+		return
+	}
+	if s.opt.Tracer == nil {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: "span tracing disabled (start with -trace-sample > 0)"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, badRequest("want /debug/trace/{trace-id}"))
+		return
+	}
+	spans := s.opt.Tracer.Collect(id)
+	if len(spans) == 0 {
+		writeError(w, &httpError{status: http.StatusNotFound, msg: "no spans recorded for trace " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, &TraceResponse{TraceID: id, Spans: spans})
+}
 
 // SetLive enables the write path: /ingest mutations are applied to db, and
 // the database publishes every fresh view back through the server's
@@ -630,11 +738,13 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
-	req.requestID = r.Header.Get(RequestIDHeader)
+	s.captureHTTP(r, &req)
+	sctx, sp := s.startRequestSpan(r, &req, "serve.stream")
 	s.requests.Add(1)
 	start := time.Now()
 	fail := func(err error) {
 		s.finishRequest("stream", start, &req, nil, err)
+		endRequestSpan(sp, err, nil)
 		writeError(w, err)
 	}
 	si, release := s.acquireIndex()
@@ -649,9 +759,9 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
+	ctx, cancel := context.WithTimeout(sctx, s.requestTimeout(&req))
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquireTraced(ctx); err != nil {
 		fail(err)
 		return
 	}
@@ -689,6 +799,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	clientGone := false
 	n := 0
+	execStart := time.Now()
 	st, matchErr := core.MatchStreamPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib), func(m join.Match) bool {
 		e := matchEntry(m)
 		if err := enc.Encode(&StreamEvent{Match: &e}); err != nil {
@@ -701,17 +812,20 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 		n++
 		return true
 	})
+	s.stageSpans(ctx, execStart, st.Stages)
 	if clientGone {
 		// The event write failed because the client stopped reading or went
 		// away mid-stream. That is the client's choice, not a server fault:
 		// bill it as canceled, never failed.
-		s.finishRequest("stream", start, &req, nil,
-			&httpError{status: 499, msg: "client closed connection mid-stream"})
+		gone := &httpError{status: 499, msg: "client closed connection mid-stream"}
+		s.finishRequest("stream", start, &req, nil, gone)
+		endRequestSpan(sp, gone, nil)
 		return
 	}
 	if matchErr != nil {
 		herr := matchError(matchErr)
 		s.finishRequest("stream", start, &req, nil, herr)
+		endRequestSpan(sp, herr, nil)
 		if n == 0 {
 			// Nothing on the wire yet: answer with a real HTTP status
 			// (writeError resets the Content-Type).
@@ -732,6 +846,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	stj := statsJSON(st)
 	s.finishRequest("stream", start, &req,
 		&MatchResponse{NumMatches: n, PlanCached: planCached, Truncated: st.Truncated, Stats: stj}, nil)
+	endRequestSpan(sp, nil, &MatchResponse{NumMatches: n})
 	_ = enc.Encode(&StreamEvent{Done: &StreamDone{
 		NumMatches: n,
 		Truncated:  st.Truncated,
@@ -766,11 +881,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
-	req.requestID = r.Header.Get(RequestIDHeader)
+	s.captureHTTP(r, &req)
+	sctx, sp := s.startRequestSpan(r, &req, "serve.explain")
 	s.requests.Add(1)
 	start := time.Now()
 	fail := func(err error) {
 		s.finishRequest("explain", start, &req, nil, err)
+		endRequestSpan(sp, err, nil)
 		writeError(w, err)
 	}
 	si, release := s.acquireIndex()
@@ -790,9 +907,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// not starve the match traffic the pool was sized for. It is NOT subject
 	// to cost-based admission: asking what a query would cost must stay
 	// answerable precisely when the answer is "too much".
-	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(&req))
+	ctx, cancel := context.WithTimeout(sctx, s.requestTimeout(&req))
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquireTraced(ctx); err != nil {
 		fail(err)
 		return
 	}
@@ -803,6 +920,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.finishRequest("explain", start, &req, nil, nil)
+	endRequestSpan(sp, nil, nil)
 	writeJSON(w, http.StatusOK, &ExplainResponse{Plan: pl.Tree, Cached: cached})
 }
 
@@ -816,11 +934,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
-	req.requestID = r.Header.Get(RequestIDHeader)
+	s.captureHTTP(r, &req)
+	ctx, sp := s.startRequestSpan(r, &req, "serve.match")
 	s.requests.Add(1)
 	start := time.Now()
-	res, err := s.evaluate(r.Context(), &req)
+	res, err := s.evaluate(ctx, &req)
 	s.finishRequest("match", start, &req, res, err)
+	endRequestSpan(sp, err, res)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -838,15 +958,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeError(err))
 		return
 	}
+	ctx, bsp := s.startRequestSpan(r, nil, "serve.batch")
 	for i := range req.Queries {
-		req.Queries[i].requestID = r.Header.Get(RequestIDHeader)
+		s.captureHTTP(r, &req.Queries[i])
+		req.Queries[i].traceID = bsp.TraceID()
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, badRequest("empty batch"))
+		err := badRequest("empty batch")
+		endRequestSpan(bsp, err, nil)
+		writeError(w, err)
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeError(w, badRequest("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries))
+		err := badRequest("batch of %d exceeds the %d-query limit", len(req.Queries), maxBatchQueries)
+		endRequestSpan(bsp, err, nil)
+		writeError(w, err)
 		return
 	}
 	// Fan out through at most Workers goroutines: evaluate() also acquires
@@ -866,7 +992,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for i := range next {
 				s.requests.Add(1)
 				start := time.Now()
-				res, err := s.evaluate(r.Context(), &req.Queries[i])
+				res, err := s.evaluate(ctx, &req.Queries[i])
 				s.finishRequest("batch", start, &req.Queries[i], res, err)
 				if err != nil {
 					out.Results[i] = BatchItem{Error: err.Error()}
@@ -881,6 +1007,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	close(next)
 	wg.Wait()
+	bsp.SetAttr("items", strconv.Itoa(len(req.Queries)))
+	endRequestSpan(bsp, nil, nil)
 	writeJSON(w, http.StatusOK, &out)
 }
 
@@ -1012,14 +1140,20 @@ func (p *matchParams) options(opt *Options, calib *plan.Calibration) core.Option
 }
 
 // requestTimeout derives one request's deadline: the server cap, lowerable
-// (never raisable) by the request's timeout_ms.
+// (never raisable) by the request's timeout_ms and by the router's
+// propagated X-Peg-Deadline-Ms budget.
 func (s *Server) requestTimeout(req *MatchRequest) time.Duration {
 	timeout := s.opt.RequestTimeout
-	if req.TimeoutMillis > 0 {
-		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d < timeout {
+	lower := func(ms int64) {
+		if ms <= 0 {
+			return
+		}
+		if d := time.Duration(ms) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
+	lower(req.TimeoutMillis)
+	lower(req.deadlineMillis)
 	return timeout
 }
 
@@ -1038,15 +1172,62 @@ func (s *Server) plannedFor(ctx context.Context, si *servedIndex, p *matchParams
 		alpha:    math.Float64bits(p.alpha),
 		strategy: p.stratName,
 	}
+	traced := s.opt.Tracer != nil && trace.SpanFromContext(ctx).Sampled()
+	t0 := time.Now()
 	if pl, ok := s.plans.get(key); ok {
+		if traced {
+			s.opt.Tracer.RecordSpan(ctx, "plan-cache", t0, time.Since(t0), map[string]string{"result": "hit"})
+		}
 		return pl, true, nil
 	}
+	if traced {
+		s.opt.Tracer.RecordSpan(ctx, "plan-cache", t0, time.Since(t0), map[string]string{"result": "miss"})
+	}
+	t0 = time.Now()
 	pl, err := core.Prepare(ctx, si.ix, p.q, p.options(&s.opt, si.calib))
+	if traced {
+		s.opt.Tracer.RecordSpan(ctx, "plan", t0, time.Since(t0), nil)
+	}
 	if err != nil {
 		return nil, false, matchError(err)
 	}
 	s.plans.put(key, pl)
 	return pl, false, nil
+}
+
+// acquireTraced takes a worker slot like acquire, recording the wait as an
+// "admission" child span of the request (queue time is exactly what a
+// saturated-pool investigation needs to see per trace).
+func (s *Server) acquireTraced(ctx context.Context) error {
+	t0 := time.Now()
+	err := s.acquire(ctx)
+	if s.opt.Tracer != nil && trace.SpanFromContext(ctx).Sampled() {
+		s.opt.Tracer.RecordSpan(ctx, "admission", t0, time.Since(t0),
+			map[string]string{"outcome": outcomeOf(err)})
+	}
+	return err
+}
+
+// stageSpans converts the executor's already-timed stage rows into child
+// spans: each row carries its start offset from the run's beginning, so
+// the spans reproduce the exact execution timeline without the executor
+// knowing tracing exists.
+func (s *Server) stageSpans(ctx context.Context, execStart time.Time, stages []plan.StageStats) {
+	if s.opt.Tracer == nil || !trace.SpanFromContext(ctx).Sampled() {
+		return
+	}
+	for i := range stages {
+		sg := &stages[i]
+		attrs := map[string]string{
+			"obs_rows": strconv.FormatFloat(sg.ObsRows, 'g', -1, 64),
+		}
+		if sg.Pruned != 0 {
+			attrs["pruned"] = strconv.FormatInt(sg.Pruned, 10)
+		}
+		s.opt.Tracer.RecordSpan(ctx, "stage."+sg.Name,
+			execStart.Add(time.Duration(sg.StartMicros*1e3)),
+			time.Duration(sg.Micros*1e3), attrs)
+	}
 }
 
 // parseParams validates one request against the served index's alphabet.
@@ -1156,7 +1337,7 @@ func (s *Server) evaluate(ctx context.Context, req *MatchRequest) (*MatchRespons
 // compute runs one match evaluation under a worker-pool slot and caches the
 // response: plan (or reuse the cached plan), execute, convert.
 func (s *Server) compute(ctx context.Context, si *servedIndex, p *matchParams, key cacheKey) (*MatchResponse, error) {
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquireTraced(ctx); err != nil {
 		return nil, err
 	}
 	defer func() { <-s.sem }()
@@ -1171,10 +1352,12 @@ func (s *Server) compute(ctx context.Context, si *servedIndex, p *matchParams, k
 	if err := s.admit(pl); err != nil {
 		return nil, err
 	}
+	execStart := time.Now()
 	result, err := core.MatchPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib))
 	if err != nil {
 		return nil, matchError(err)
 	}
+	s.stageSpans(ctx, execStart, result.Stats.Stages)
 	if !planCached {
 		// Planning ran in this request; bill it in the stats — Total
 		// included, so the stage times keep summing within it (a plan-cache
@@ -1360,6 +1543,7 @@ func (s *Server) finishRequest(endpoint string, start time.Time, req *MatchReque
 // after the fact.
 type traceEvent struct {
 	Time           string      `json:"ts"`
+	TraceID        string      `json:"trace_id,omitempty"`
 	RequestID      string      `json:"request_id,omitempty"`
 	Endpoint       string      `json:"endpoint"`
 	Outcome        string      `json:"outcome"`
@@ -1385,6 +1569,7 @@ func (s *Server) traceRequest(endpoint string, elapsed time.Duration, req *Match
 		DurationMicros: plan.Micros(elapsed),
 	}
 	if req != nil {
+		ev.TraceID = req.traceID
 		ev.RequestID = req.requestID
 		ev.Query, ev.Alpha, ev.Strategy, ev.Order, ev.Limit =
 			req.Query, req.Alpha, req.Strategy, req.Order, req.Limit

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fixtures"
+	"repro/internal/trace"
+)
+
+// TestDeadlineHeaderFolds covers the router→shard deadline propagation: the
+// X-Peg-Deadline-Ms header lowers the request deadline exactly like the
+// body's timeout_ms, whichever is tighter, and malformed or non-positive
+// values are ignored.
+func TestDeadlineHeaderFolds(t *testing.T) {
+	s, _ := testServer(t, Options{Workers: 2, RequestTimeout: 30 * time.Second})
+
+	for _, tc := range []struct {
+		header  string
+		bodyMS  int64
+		want    time.Duration
+	}{
+		{"", 0, 30 * time.Second},          // neither: the server cap
+		{"50", 0, 50 * time.Millisecond},   // header lowers
+		{"50", 20, 20 * time.Millisecond},  // tighter body wins
+		{"20", 50, 20 * time.Millisecond},  // tighter header wins
+		{"60000000", 0, 30 * time.Second},  // header cannot raise past the cap
+		{"0", 0, 30 * time.Second},         // non-positive ignored
+		{"-5", 0, 30 * time.Second},
+		{"junk", 0, 30 * time.Second},
+	} {
+		hr := httptest.NewRequest(http.MethodPost, "/match", nil)
+		if tc.header != "" {
+			hr.Header.Set(DeadlineHeader, tc.header)
+		}
+		req := &MatchRequest{TimeoutMillis: tc.bodyMS}
+		s.captureHTTP(hr, req)
+		if got := s.requestTimeout(req); got != tc.want {
+			t.Errorf("header=%q timeout_ms=%d: requestTimeout = %v, want %v",
+				tc.header, tc.bodyMS, got, tc.want)
+		}
+	}
+}
+
+// TestDeadlineHeaderTimesOutWaiting drives the header end-to-end: with the
+// worker pool wedged, a request carrying a short propagated deadline gives
+// up in the admission queue with 504 instead of waiting out the server cap.
+func TestDeadlineHeaderTimesOutWaiting(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 1})
+	s.sem <- struct{}{} // wedge the only worker slot
+	defer func() { <-s.sem }()
+
+	body, _ := json.Marshal(&MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/match", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DeadlineHeader, "50")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("took %v; the propagated 50ms deadline did not fold in", waited)
+	}
+	checkAccounting(t, s)
+}
+
+// TestDebugTraceEndpoint covers the shard half of the waterfall: a sampled
+// request leaves serve.match, admission, planner, and executor stage spans
+// in the ring, retrievable by trace id over GET /debug/trace/{id}, parented
+// under the remote context the client sent.
+func TestDebugTraceEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{
+		Workers: 2,
+		Tracer:  trace.New(trace.Config{Service: "pegserve-test", Sample: 1}),
+	})
+	const tid = "00112233445566778899aabbccddeeff"
+	const clientSpan = "0011223344556677"
+	body, _ := json.Marshal(&MatchRequest{Query: motivatingQueryDSL, Alpha: fixtures.MotivatingAlpha})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/match", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, "00-"+tid+"-"+clientSpan+"-01")
+	req.Header.Set(RequestIDHeader, "req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match: HTTP %d", resp.StatusCode)
+	}
+
+	dresp, raw := getRaw(t, ts.URL+"/debug/trace/"+tid)
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace: HTTP %d: %s", dresp.StatusCode, raw)
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != tid {
+		t.Fatalf("trace id %q, want %q", tr.TraceID, tid)
+	}
+	names := map[string]int{}
+	var root trace.SpanData
+	for _, sp := range tr.Spans {
+		if sp.TraceID != tid {
+			t.Fatalf("span %s carries trace %s", sp.Name, sp.TraceID)
+		}
+		names[sp.Name]++
+		if sp.Name == "serve.match" {
+			root = sp
+		}
+	}
+	if names["serve.match"] != 1 || names["admission"] != 1 || names["plan-cache"] != 1 ||
+		names["plan"] != 1 || names["stage.candidates"] == 0 || names["stage.join"] == 0 {
+		t.Fatalf("span census %v missing expected request/planner/stage spans", names)
+	}
+	if root.ParentID != clientSpan {
+		t.Fatalf("serve.match parented to %q, want the client span %q", root.ParentID, clientSpan)
+	}
+	if root.Attrs["outcome"] != "ok" || root.Attrs["request_id"] != "req-42" {
+		t.Fatalf("serve.match attrs %v", root.Attrs)
+	}
+	for _, sp := range tr.Spans {
+		if sp.SpanID != root.SpanID && sp.ParentID != root.SpanID {
+			t.Fatalf("span %s parented to %q, want the request span", sp.Name, sp.ParentID)
+		}
+	}
+
+	// An unsampled client context (flags 00) is continued for propagation but
+	// records nothing — the trace id stays unknown here.
+	const coldTid = "ffeeddccbbaa99887766554433221100"
+	req2, _ := http.NewRequest(http.MethodPost, ts.URL+"/match", bytes.NewReader(body))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(trace.Header, "00-"+coldTid+"-0011223344556677-00")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if dresp, _ := getRaw(t, ts.URL+"/debug/trace/"+coldTid); dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unsampled trace retrievable: HTTP %d", dresp.StatusCode)
+	}
+
+	if dresp, _ := getRaw(t, ts.URL+"/debug/trace/"+strings.Repeat("0", 32)); dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id: HTTP %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestDebugTraceDisabled: without a tracer the endpoint answers 404, not a
+// panic or an empty page.
+func TestDebugTraceDisabled(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+	if resp, _ := getRaw(t, ts.URL+"/debug/trace/00112233445566778899aabbccddeeff"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HTTP %d, want 404 with tracing disabled", resp.StatusCode)
+	}
+}
+
+func getRaw(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}

@@ -68,6 +68,7 @@ package peg
 import (
 	"context"
 	"iter"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/entity"
@@ -381,3 +382,7 @@ func NewPlanCalibration() *PlanCalibration { return plan.NewCalibration() }
 // an http.Server (see cmd/pegserve). To enable the write path, pair it with
 // a LiveDB: srv.SetLive(db); db.SetPublisher(srv).
 func NewServer(ix IndexReader, opt ServerOptions) *Server { return server.New(ix, opt) }
+
+// PprofHandler exposes the net/http/pprof endpoints for an opt-in,
+// separately-listening profile server (pegserve/pegrouter -pprof-addr).
+func PprofHandler() http.Handler { return server.PprofHandler() }
