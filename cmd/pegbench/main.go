@@ -41,6 +41,8 @@ import (
 	"repro/internal/harness"
 	"repro/internal/join"
 	"repro/internal/metrics"
+	"repro/internal/pathindex"
+	"repro/internal/prob"
 	"repro/internal/trace"
 )
 
@@ -190,6 +192,11 @@ var checkedBenchmarks = map[string]bool{
 	// at a time through the 2-shard scatter-gather cluster (see router.go),
 	// so the fan-out/merge overhead is gated alongside the single-node rows.
 	"router-topk10": true,
+	// The packed-format read-path rows: raw Lookup throughput and the cold
+	// open + first probe a generation flip pays (also under an absolute
+	// budget — see checkOpenCold).
+	"lookup-packed":   true,
+	"index-open-cold": true,
 }
 
 // plannerOverheadBudget caps planner-overhead ns/op as a fraction of
@@ -248,6 +255,9 @@ func runCheck(h *harness.Harness, baseline *perfFile, threshold, allocLimit floa
 		return err
 	}
 	if err := checkTraceOverhead(rec); err != nil {
+		return err
+	}
+	if err := checkOpenCold(rec); err != nil {
 		return err
 	}
 	if failed > 0 {
@@ -348,6 +358,32 @@ func checkTraceOverhead(rec *perfFile) error {
 	return nil
 }
 
+// openColdBudgetNs is the absolute ceiling on index-open-cold: opening a
+// packed index (header validation + mmap) plus its first probe on the
+// standard workload must stay under 10ms, because a serving shard pays this
+// on every generation flip. Absolute rather than a ratio: the row is
+// dominated by fixed per-open work, not by match volume.
+const openColdBudgetNs = 10e6
+
+// checkOpenCold gates index-open-cold against the absolute budget on the
+// freshly measured rows.
+func checkOpenCold(rec *perfFile) error {
+	var cold *perfBench
+	for i := range rec.Benchmarks {
+		if rec.Benchmarks[i].Name == "index-open-cold" {
+			cold = &rec.Benchmarks[i]
+		}
+	}
+	if cold == nil || cold.NsPerOp <= 0 {
+		return fmt.Errorf("index-open-cold gate: row missing from the measurement")
+	}
+	if cold.NsPerOp > openColdBudgetNs {
+		return fmt.Errorf("index-open-cold %0.f ns/op exceeds the %0.fms budget", cold.NsPerOp, openColdBudgetNs/1e6)
+	}
+	fmt.Printf("check index-open-cold       %12.0f ns/op (budget %.0fms) ok\n", cold.NsPerOp, openColdBudgetNs/1e6)
+	return nil
+}
+
 // runPerf benchmarks the result-producing API shapes against each other on
 // the main synthetic workload — full collect, streamed consumption,
 // first-match (Limit 1), and top-K by probability — then runs the open-loop
@@ -400,10 +436,12 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix, err := h.Index(fmt.Sprintf("synth-%d-0.20", cfg.MainSize), g, 3, 0.1)
+	gkey := fmt.Sprintf("synth-%d-0.20", cfg.MainSize)
+	ix, err := h.Index(gkey, g, 3, 0.1)
 	if err != nil {
 		return nil, err
 	}
+	ixDir := h.IndexPath(gkey, 3, 0.1)
 	ctx := context.Background()
 	q, richness := harness.FindRichQuery(ix, queryNodes, queryEdges, alpha, cfg.Seed, 30)
 	if richness == 0 {
@@ -438,6 +476,26 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prepare: %w", err)
 	}
+	// lookup-packed probes a fixed, deterministic sample of the indexed label
+	// sequences (Sequences() is sorted) straight through Index.Lookup — the
+	// raw read path under the executor, where the packed format's zero-copy
+	// decode shows up undiluted by join work. index-open-cold prices a cold
+	// start — Open (header validation + mmap) plus the first probe — which the
+	// packed layout must keep in single-digit milliseconds since every
+	// generation flip on a serving shard pays it.
+	allSeqs := ix.Sequences()
+	if len(allSeqs) == 0 {
+		return nil, fmt.Errorf("perf: index has no sequences")
+	}
+	probeSeqs := allSeqs
+	if len(probeSeqs) > 64 {
+		sampled := make([][]prob.LabelID, 0, 64)
+		for i := 0; i < 64; i++ {
+			sampled = append(sampled, allSeqs[i*len(allSeqs)/64])
+		}
+		probeSeqs = sampled
+	}
+	openProbe := allSeqs[len(allSeqs)-1]
 	variants := []struct {
 		name string
 		run  func() (matches int, err error)
@@ -477,6 +535,32 @@ func measurePerf(h *harness.Harness) (*perfFile, error) {
 				core.Options{Alpha: alpha, Limit: 10, Order: core.OrderByProb, Parallelism: 1},
 				func(join.Match) bool { return true })
 			return st.Matched, err
+		}},
+		{"lookup-packed", func() (int, error) {
+			n := 0
+			for _, X := range probeSeqs {
+				ms, err := ix.Lookup(X, alpha)
+				if err != nil {
+					return 0, err
+				}
+				n += len(ms)
+			}
+			return n, nil
+		}},
+		{"index-open-cold", func() (int, error) {
+			cold, err := pathindex.Open(ixDir, g)
+			if err != nil {
+				return 0, err
+			}
+			ms, err := cold.Lookup(openProbe, alpha)
+			if err != nil {
+				cold.Close()
+				return 0, err
+			}
+			if err := cold.Close(); err != nil {
+				return 0, err
+			}
+			return len(ms), nil
 		}},
 		// metrics-observe replays the serving tier's full per-request metrics
 		// hot path (outcome counter, endpoint latency histogram, six stage

@@ -252,14 +252,42 @@ func Explain(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Optio
 // are sorted by mapping (then probability) for deterministic output, with
 // OrderByProb the probability-descending stream order is preserved.
 func Match(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options) (*Result, error) {
-	var ms []join.Match
+	// Matches accumulate in exponentially growing chunks spliced once at the
+	// end: append-growing one big slice reallocates several times the final
+	// footprint at typical result sizes (the runtime grows large slices by
+	// ~1.25×, so the abandoned backing arrays sum to ~5× the result), and
+	// that churn dominated match-collect's bytes/op.
+	var (
+		chunks [][]join.Match
+		cur    []join.Match
+		total  int
+	)
 	st, err := MatchStream(ctx, ix, q, opt, func(m join.Match) bool {
-		ms = append(ms, m)
+		if len(cur) == cap(cur) {
+			n := 2 * cap(cur)
+			if n == 0 {
+				n = 512
+			}
+			if len(cur) > 0 {
+				chunks = append(chunks, cur)
+			}
+			cur = make([]join.Match, 0, n)
+		}
+		cur = append(cur, m)
+		total++
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	if total == 0 {
+		return &Result{Stats: st}, nil
+	}
+	ms := make([]join.Match, 0, total)
+	for _, c := range chunks {
+		ms = append(ms, c...)
+	}
+	ms = append(ms, cur...)
 	if opt.Order == OrderEmit {
 		plan.SortMatches(ms)
 	}

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/entity"
+	"repro/internal/gen"
+	"repro/internal/pathindex"
+)
+
+// TestFormatEquivalenceEndToEnd is the acceptance property for the packed
+// index format through the whole online phase: over seeded gen.Synthetic
+// PGDs, core.Match against a packed (v2) index and against a B+-tree (v1)
+// index of the same parameters must return the same matches with
+// bitwise-identical probabilities, across both decomposition strategies
+// (the cost-based SET COVER planner and random decomposition). The index
+// is the only variable — same graph, same query, same seeds — so any
+// divergence is a format bug, not planner nondeterminism.
+func TestFormatEquivalenceEndToEnd(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	strategies := []core.Strategy{core.StrategyOptimized, core.StrategyRandomDecomp}
+	for _, seed := range seeds {
+		d, err := gen.Synthetic(gen.SynthOptions{
+			Refs: 30, EdgeFactor: 2, Labels: 4, UncertainFrac: 0.4,
+			Groups: 2, GroupSize: 3, PairsPerGroup: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: Synthetic: %v", seed, err)
+		}
+		g, err := entity.Build(d, entity.BuildOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", seed, err)
+		}
+		build := func(f pathindex.Format) *pathindex.Index {
+			ix, err := pathindex.Build(context.Background(), g, pathindex.Options{
+				MaxLen: 2, Beta: 0.05, Gamma: 0.1,
+				Dir: filepath.Join(t.TempDir(), "ix"), Format: f,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: Build %v: %v", seed, f, err)
+			}
+			t.Cleanup(func() { ix.Close() })
+			return ix
+		}
+		packed := build(pathindex.FormatPacked)
+		tree := build(pathindex.FormatBTree)
+
+		rng := rand.New(rand.NewSource(seed * 101))
+		for qi := 0; qi < 4; qi++ {
+			q, err := gen.RandomQuery(rng, g.NumLabels(), 2+rng.Intn(2), 3)
+			if err != nil {
+				t.Fatalf("seed %d: RandomQuery: %v", seed, err)
+			}
+			for _, alpha := range []float64{0.02, 0.1, 0.35} {
+				for _, s := range strategies {
+					opts := func() core.Options {
+						return core.Options{Alpha: alpha, Strategy: s,
+							Rand: rand.New(rand.NewSource(seed ^ int64(qi)))}
+					}
+					rp, err := core.Match(context.Background(), packed, q, opts())
+					if err != nil {
+						t.Fatalf("seed %d q%d %v α=%v packed: %v", seed, qi, s, alpha, err)
+					}
+					rt, err := core.Match(context.Background(), tree, q, opts())
+					if err != nil {
+						t.Fatalf("seed %d q%d %v α=%v btree: %v", seed, qi, s, alpha, err)
+					}
+					if len(rp.Matches) != len(rt.Matches) {
+						t.Fatalf("seed %d q%d %v α=%v: %d vs %d matches\nquery:\n%s",
+							seed, qi, s, alpha, len(rp.Matches), len(rt.Matches), q.Format(g.Alphabet()))
+					}
+					// Same seeds and inputs make the match order
+					// deterministic, so compare positionally and bitwise.
+					for i := range rp.Matches {
+						mp, mt := rp.Matches[i], rt.Matches[i]
+						if len(mp.Mapping) != len(mt.Mapping) {
+							t.Fatalf("seed %d q%d %v α=%v match %d: mapping size", seed, qi, s, alpha, i)
+						}
+						for j := range mp.Mapping {
+							if mp.Mapping[j] != mt.Mapping[j] {
+								t.Fatalf("seed %d q%d %v α=%v match %d: mapping differs", seed, qi, s, alpha, i)
+							}
+						}
+						if math.Float64bits(mp.Pr()) != math.Float64bits(mt.Pr()) {
+							t.Fatalf("seed %d q%d %v α=%v match %d: Pr %v vs %v",
+								seed, qi, s, alpha, i, mp.Pr(), mt.Pr())
+						}
+					}
+				}
+			}
+		}
+	}
+}

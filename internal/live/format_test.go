@@ -1,0 +1,84 @@
+package live
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/pathindex"
+	"repro/internal/prob"
+)
+
+// TestIngestFormatEquivalence runs one mutation stream into two databases
+// that differ only in their base index format — v1 B+-tree vs v2 packed —
+// and requires the two live views (delta overlay ⊕ base) to answer every
+// probe bitwise-identically: same matches in the same order, same Prle/Prn
+// bits, same cardinality bits. The graphs are built from the same PGD with
+// the same append order, so entity ids line up exactly.
+func TestIngestFormatEquivalence(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		d := basePGD(t, seed)
+		optV1 := testOptions()
+		optV1.Index.Format = pathindex.FormatBTree
+		dbV1 := createDB(t, d, optV1)
+		dbV2 := createDB(t, basePGD(t, seed), testOptions())
+		if got := dbV2.View().IndexMetrics().Format; got != "v2" {
+			t.Fatalf("packed DB base format %q", got)
+		}
+		if got := dbV1.View().IndexMetrics().Format; got != "v1" {
+			t.Fatalf("btree DB base format %q", got)
+		}
+
+		rng := rand.New(rand.NewSource(seed * 13))
+		for batch := 0; batch < 3; batch++ {
+			var ms []Mutation
+			for len(ms) < 5 {
+				ms = append(ms, randomMutation(rng, dbV1.PGDSnapshot()))
+			}
+			_, err1 := dbV1.Apply(ms)
+			_, err2 := dbV2.Apply(ms)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed %d batch %d: apply diverged: %v vs %v", seed, batch, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			v1, v2 := dbV1.View(), dbV2.View()
+			nl := v1.Graph().NumLabels()
+			var probe func(X []prob.LabelID)
+			probe = func(X []prob.LabelID) {
+				if len(X) > 0 {
+					for _, alpha := range []float64{0.02, 0.12, 0.4} {
+						m1, e1 := v1.Lookup(X, alpha)
+						m2, e2 := v2.Lookup(X, alpha)
+						if (e1 == nil) != (e2 == nil) {
+							t.Fatalf("X=%v α=%v: %v vs %v", X, alpha, e1, e2)
+						}
+						if len(m1) != len(m2) {
+							t.Fatalf("seed %d batch %d X=%v α=%v: %d vs %d matches",
+								seed, batch, X, alpha, len(m1), len(m2))
+						}
+						for i := range m1 {
+							if !reflect.DeepEqual(m1[i].Nodes, m2[i].Nodes) ||
+								math.Float64bits(m1[i].Prle) != math.Float64bits(m2[i].Prle) ||
+								math.Float64bits(m1[i].Prn) != math.Float64bits(m2[i].Prn) {
+								t.Fatalf("X=%v α=%v match %d: %+v vs %+v", X, alpha, i, m1[i], m2[i])
+							}
+						}
+						if c1, c2 := v1.Cardinality(X, alpha), v2.Cardinality(X, alpha); math.Float64bits(c1) != math.Float64bits(c2) {
+							t.Fatalf("X=%v α=%v: cardinality %v vs %v", X, alpha, c1, c2)
+						}
+					}
+				}
+				if len(X) == 3 {
+					return
+				}
+				for l := 0; l < nl; l++ {
+					probe(append(X, prob.LabelID(l)))
+				}
+			}
+			probe(nil)
+		}
+	}
+}

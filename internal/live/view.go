@@ -84,6 +84,14 @@ func (v *View) Stats() pathindex.BuildStats {
 	return st
 }
 
+// IndexMetrics forwards the base index's read-path counters, so the
+// server's peg_index_* families work identically for live and static
+// serving (pathindex.MetricsSource).
+func (v *View) IndexMetrics() pathindex.IndexMetrics { return v.base.IndexMetrics() }
+
+// SetPostingObserver forwards to the base index (pathindex.MetricsSource).
+func (v *View) SetPostingObserver(fn func(micros float64)) { v.base.SetPostingObserver(fn) }
+
 // Generation returns the base generation number of this view.
 func (v *View) Generation() uint64 { return v.gen }
 

@@ -7,14 +7,16 @@ import (
 	"testing"
 )
 
-// Failure injection: every artifact of the index directory must be
+// Failure injection: every artifact of the v1 index directory must be
 // validated on Open, and corruption must surface as an error rather than
-// bad query results.
+// bad query results. Pinned to FormatBTree: these are the v1 artifact
+// files (packed-format corruption is covered by TestOpenCorruptPacked and
+// packedix's own fuzz target).
 func TestOpenCorruptArtifacts(t *testing.T) {
 	g := motivating(t)
 	build := func(t *testing.T) string {
 		dir := filepath.Join(t.TempDir(), "ix")
-		ix, err := Build(context.Background(), g, Options{MaxLen: 2, Beta: 0.05, Gamma: 0.1, Dir: dir})
+		ix, err := Build(context.Background(), g, Options{MaxLen: 2, Beta: 0.05, Gamma: 0.1, Dir: dir, Format: FormatBTree})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,6 +62,56 @@ func TestOpenCorruptArtifacts(t *testing.T) {
 			if ix, err := Open(dir, g); err == nil {
 				ix.Close()
 				t.Error("corrupt index opened without error")
+			}
+		})
+	}
+}
+
+// TestOpenCorruptPacked is the v2 counterpart: a damaged packed.idx must
+// fail Open (or a later probe) with an error, never serve bad results.
+func TestOpenCorruptPacked(t *testing.T) {
+	g := motivating(t)
+	build := func(t *testing.T) string {
+		dir := filepath.Join(t.TempDir(), "ix")
+		ix, err := Build(context.Background(), g, Options{MaxLen: 2, Beta: 0.05, Gamma: 0.1, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.Truncate(path, st.Size()/2)
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			os.WriteFile(path, []byte("PEGXnot really an index"), 0o644)
+		}},
+		{"bad-magic", func(t *testing.T, path string) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b[0] = 'Z'
+			os.WriteFile(path, b, 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := build(t)
+			tc.corrupt(t, filepath.Join(dir, "packed.idx"))
+			if ix, err := Open(dir, g); err == nil {
+				ix.Close()
+				t.Error("corrupt packed index opened without error")
 			}
 		})
 	}

@@ -76,28 +76,12 @@ func (h *Histograms) Estimate(seqID uint64, alpha float64) float64 {
 	if c == nil {
 		return 0
 	}
-	if alpha <= h.beta {
-		return float64(h.CumulativeAt(seqID, 0))
-	}
-	if alpha >= 1 {
-		return float64(h.CumulativeAt(seqID, h.nb-1))
-	}
-	i := int((alpha - h.beta) / h.gamma)
-	if i >= h.nb-1 {
-		return float64(h.CumulativeAt(seqID, h.nb-1))
-	}
-	ni := float64(h.CumulativeAt(seqID, i))
-	nj := float64(h.CumulativeAt(seqID, i+1))
-	if ni == 0 {
-		return 0
-	}
-	frac := (alpha - bucketFloor(uint16(i), h.beta, h.gamma)) / h.gamma
-	if nj == 0 {
-		// Exponential fit undefined; fall back to a linear ramp to zero,
-		// which preserves monotonicity.
-		return ni * (1 - frac)
-	}
-	return ni * math.Pow(nj/ni, frac)
+	// estimateCurve is shared with the packed backend, whose per-bucket
+	// counts live in the key table — identical uint32 accumulation and
+	// float operations keep the two formats' estimates bitwise equal.
+	return estimateCurve(h.beta, h.gamma, h.nb, func(i int) uint32 {
+		return h.CumulativeAt(seqID, i)
+	}, alpha)
 }
 
 // NumSeqs returns the number of distinct label sequences recorded.

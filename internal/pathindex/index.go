@@ -9,12 +9,14 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/entity"
 	"repro/internal/prob"
 	"repro/internal/storage/btree"
 	"repro/internal/storage/hashdict"
+	"repro/internal/storage/packedix"
 	"repro/internal/storage/pager"
 )
 
@@ -31,8 +33,13 @@ type Options struct {
 	Workers int
 	// Dir is the artifact directory (created if missing).
 	Dir string
-	// CachePages sizes the pager buffer pool (0 = pager default).
+	// CachePages sizes the pager buffer pool (0 = pager default; v1 format
+	// only — the packed format has no buffer pool to size).
 	CachePages int
+	// Format selects the on-disk layout. The zero value is FormatPacked
+	// (v2), so new builds — including compactions of v1-era databases —
+	// emit the packed format unless explicitly pinned to FormatBTree.
+	Format Format
 }
 
 func (o *Options) normalize() error {
@@ -73,16 +80,26 @@ type BuildStats struct {
 // and context tables are immutable after construction. Build itself is
 // single-writer (storeLevel runs on one goroutine).
 type Index struct {
-	opt   Options
-	g     *entity.Graph
-	dict  *hashdict.Dict
-	pg    *pager.Pager
-	tree  *btree.Tree
+	opt Options
+	g   *entity.Graph
+
+	// v1 B+-tree backend.
+	dict *hashdict.Dict
+	pg   *pager.Pager
+	tree *btree.Tree
+	hist *Histograms
+
+	// v2 packed backend.
+	packed *packedix.File
+	pw     *packedix.Writer // non-nil only during a packed build
+
 	ctx   *Context
-	hist  *Histograms
 	stats BuildStats
 
 	recno uint32 // next record number during build
+
+	probes atomic.Uint64                 // Lookup calls answered
+	obs    atomic.Pointer[func(float64)] // posting-decode observer (µs)
 }
 
 type metaFile struct {
@@ -114,6 +131,9 @@ func Build(ctx context.Context, g *entity.Graph, opt Options) (*Index, error) {
 	}
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("pathindex: %w", err)
+	}
+	if opt.Format == FormatPacked {
+		return buildPacked(ctx, g, opt, start)
 	}
 	dict, err := hashdict.Open(filepath.Join(opt.Dir, fileDict))
 	if err != nil {
@@ -184,8 +204,17 @@ func Build(ctx context.Context, g *entity.Graph, opt Options) (*Index, error) {
 }
 
 // Open attaches to an index previously built in dir, validating it against
-// the given graph's parameters.
+// the given graph's parameters. The format is auto-detected: a packed.idx
+// file means the v2 packed layout, anything else the v1 B+-tree layout —
+// so v1 generations written before the format flip keep serving.
 func Open(dir string, g *entity.Graph) (*Index, error) {
+	if _, err := os.Stat(filepath.Join(dir, packedix.FileName)); err == nil {
+		return openPacked(dir, g)
+	}
+	return openBTree(dir, g)
+}
+
+func openBTree(dir string, g *entity.Graph) (*Index, error) {
 	mb, err := os.ReadFile(filepath.Join(dir, fileMeta))
 	if err != nil {
 		return nil, fmt.Errorf("pathindex: open: %w", err)
@@ -198,7 +227,7 @@ func Open(dir string, g *entity.Graph) (*Index, error) {
 		return nil, fmt.Errorf("pathindex: index built for %d nodes/%d edges, graph has %d/%d",
 			meta.Nodes, meta.Edges, g.NumNodes(), g.NumEdges())
 	}
-	opt := Options{MaxLen: meta.MaxLen, Beta: meta.Beta, Gamma: meta.Gamma, Dir: dir}
+	opt := Options{MaxLen: meta.MaxLen, Beta: meta.Beta, Gamma: meta.Gamma, Dir: dir, Format: FormatBTree}
 	if err := opt.normalize(); err != nil {
 		return nil, err
 	}
@@ -236,9 +265,19 @@ func Open(dir string, g *entity.Graph) (*Index, error) {
 	return ix, nil
 }
 
-// Close releases the on-disk resources.
+// Close releases the on-disk resources. For a packed index this unmaps the
+// file: zero-copy views handed out earlier (Context tables, Lookup results
+// are NOT among them — those are copied into caller-owned memory) must not
+// be dereferenced afterwards, the same drain-then-close discipline the
+// serving tier already applies before retiring a generation.
 func (ix *Index) Close() error {
 	var first error
+	if ix.packed != nil {
+		if err := ix.packed.Close(); err != nil {
+			first = err
+		}
+		ix.packed = nil
+	}
 	if ix.pg != nil {
 		if err := ix.pg.Close(); err != nil && first == nil {
 			first = err
@@ -448,6 +487,14 @@ func (ix *Index) storeLevel(level []opath, l int) error {
 		if palin && p.n > 1 && nodes[0] > nodes[p.n-1] {
 			continue // palindromic sequences store node-canonical orientation
 		}
+		if ix.pw != nil {
+			if err := ix.storePacked(canon, nodes, p.prle, p.prn); err != nil {
+				return err
+			}
+			ix.stats.Entries++
+			ix.stats.EntriesPerLen[l]++
+			continue
+		}
 		seqID, _, err := ix.dict.Intern(seqBytes(canon))
 		if err != nil {
 			return err
@@ -476,8 +523,12 @@ func (ix *Index) Lookup(X []prob.LabelID, alpha float64) ([]PathMatch, error) {
 	if len(X)-1 > ix.opt.MaxLen {
 		return nil, fmt.Errorf("pathindex: sequence of %d labels exceeds indexed length L=%d", len(X), ix.opt.MaxLen)
 	}
+	ix.probes.Add(1)
 	if alpha < ix.opt.Beta {
 		return ix.onDemand(X, alpha)
+	}
+	if ix.packed != nil {
+		return ix.lookupPacked(X, alpha)
 	}
 	canon, reversed, palin := canonicalSeq(X)
 	seqID, ok := ix.dict.Lookup(seqBytes(canon))
@@ -522,6 +573,9 @@ func (ix *Index) Lookup(X []prob.LabelID, alpha float64) ([]PathMatch, error) {
 // Cardinality estimates |PIndex(X, α)| via the histograms (palindromic
 // sequences count both orientations). Used by query decomposition.
 func (ix *Index) Cardinality(X []prob.LabelID, alpha float64) float64 {
+	if ix.packed != nil {
+		return ix.cardinalityPacked(X, alpha)
+	}
 	canon, _, palin := canonicalSeq(X)
 	seqID, ok := ix.dict.Lookup(seqBytes(canon))
 	if !ok {
@@ -557,6 +611,11 @@ func dirBytes(dir string) int64 {
 // Sequences returns all canonical label sequences present in the index, for
 // diagnostics and tests.
 func (ix *Index) Sequences() [][]prob.LabelID {
+	if ix.packed != nil {
+		out := ix.sequencesPacked()
+		sort.Slice(out, func(i, j int) bool { return compareLabels(out[i], out[j]) < 0 })
+		return out
+	}
 	var out [][]prob.LabelID
 	for id := uint64(0); ; id++ {
 		key, ok := ix.dict.Key(id)

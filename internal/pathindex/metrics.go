@@ -1,0 +1,50 @@
+package pathindex
+
+// IndexMetrics is a point-in-time snapshot of the read path's counters,
+// exported by the server as the peg_index_* metrics family.
+type IndexMetrics struct {
+	// Format is the on-disk layout serving probes ("v1" or "v2").
+	Format string
+	// MappedBytes is the size of the mmap'd region for a packed index, 0
+	// for the v1 pager-backed layout (which owns a heap cache instead).
+	MappedBytes int64
+	// Probes counts Lookup calls answered since open.
+	Probes uint64
+}
+
+// MetricsSource is implemented by index readers that can report read-path
+// metrics: *Index and live.View (which forwards to its base).
+type MetricsSource interface {
+	IndexMetrics() IndexMetrics
+	// SetPostingObserver installs fn to receive the wall-clock microseconds
+	// of each posting-blob decode (packed format only; the v1 read path has
+	// no distinct decode phase). fn must be cheap and safe for concurrent
+	// calls; nil uninstalls.
+	SetPostingObserver(fn func(micros float64))
+}
+
+// IndexMetrics implements MetricsSource.
+func (ix *Index) IndexMetrics() IndexMetrics {
+	m := IndexMetrics{Format: ix.Format().String(), Probes: ix.probes.Load()}
+	if ix.packed != nil {
+		m.MappedBytes = ix.packed.MappedBytes()
+	}
+	return m
+}
+
+// SetPostingObserver implements MetricsSource.
+func (ix *Index) SetPostingObserver(fn func(micros float64)) {
+	if fn == nil {
+		ix.obs.Store(nil)
+		return
+	}
+	ix.obs.Store(&fn)
+}
+
+// Format reports the on-disk layout backing this index.
+func (ix *Index) Format() Format {
+	if ix.packed != nil || ix.pw != nil {
+		return FormatPacked
+	}
+	return FormatBTree
+}

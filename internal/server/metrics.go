@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/pathindex"
 	"repro/internal/trace"
 )
 
@@ -36,7 +37,9 @@ type serverMetrics struct {
 	stages   *metrics.HistogramVec // peg_stage_duration_seconds{stage}
 	planCost *metrics.Histogram    // peg_plan_cost
 
-	indexInfo *metrics.InfoGauge // peg_index_info{index}
+	indexInfo     *metrics.InfoGauge // peg_index_info{index}
+	indexFormat   *metrics.InfoGauge // peg_index_format_info{format}
+	postingDecode *metrics.Histogram // peg_index_posting_decode_micros
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -56,9 +59,38 @@ func newServerMetrics(s *Server) *serverMetrics {
 			metrics.ExpBuckets(1, 8, 12)),
 		indexInfo: metrics.NewInfoGauge("peg_index_info",
 			"Identity of the served index generation.", "index"),
+		indexFormat: metrics.NewInfoGauge("peg_index_format_info",
+			"On-disk layout of the served index (v1 = B+ tree, v2 = packed mmap).", "format"),
+		// 1µs .. ~262ms per posting-blob decode (v2 read path only).
+		postingDecode: metrics.NewHistogram("peg_index_posting_decode_micros",
+			"Wall-clock microseconds decoding one posting blob on the packed read path.",
+			metrics.ExpBuckets(1, 4, 10)),
+	}
+	// indexMetrics snapshots the served reader's read-path counters at
+	// scrape time; zero-valued when the server is unready or the reader
+	// predates the metrics surface.
+	indexMetrics := func() pathindex.IndexMetrics {
+		si, release := s.acquireIndex()
+		defer release()
+		if si == nil {
+			return pathindex.IndexMetrics{}
+		}
+		src, ok := si.ix.(pathindex.MetricsSource)
+		if !ok {
+			return pathindex.IndexMetrics{}
+		}
+		return src.IndexMetrics()
 	}
 	m.reg.MustRegister(
 		m.requests, m.latency, m.stages, m.planCost, m.indexInfo,
+		m.indexFormat, m.postingDecode,
+
+		metrics.NewGaugeFunc("peg_index_mapped_bytes",
+			"Bytes of the packed index file mapped into the process (0 for the v1 layout).",
+			func() float64 { return float64(indexMetrics().MappedBytes) }),
+		metrics.NewCounterFunc("peg_index_probes_total",
+			"Index Lookup probes answered by the served generation.",
+			func() float64 { return float64(indexMetrics().Probes) }),
 
 		metrics.NewGaugeFunc("peg_index_entries",
 			"Path-index entries in the served generation.", func() float64 {

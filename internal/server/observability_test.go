@@ -294,6 +294,7 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
 	}
 	declared := map[string]bool{}
+	values := map[string]float64{}
 	samples := 0
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
@@ -316,9 +317,11 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 		if sp < 0 {
 			t.Fatalf("malformed sample line: %q", line)
 		}
-		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
 			t.Fatalf("sample %q: value does not parse: %v", line, err)
 		}
+		values[line[:sp]] = v
 		name := line[:sp]
 		if i := strings.IndexByte(name, '{'); i >= 0 {
 			name = name[:i]
@@ -340,9 +343,26 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 		"peg_plan_cost", "peg_admission_max_cost", "peg_result_cache_hits_total",
 		"peg_plan_cache_hits_total", "peg_workers", "peg_index_info", "peg_calibration_factor",
 		"peg_live_mutation_lag", "peg_live_compactions_total", "peg_ingested_mutations_total",
+		"peg_index_format_info", "peg_index_mapped_bytes", "peg_index_probes_total",
+		"peg_index_posting_decode_micros",
 	} {
 		if !declared[fam] {
 			t.Errorf("/metrics missing family %s", fam)
 		}
+	}
+
+	// The live server builds its base index with default options, i.e. the
+	// packed v2 layout, and the matches above probed it.
+	if values[`peg_index_format_info{format="v2"}`] != 1 {
+		t.Error("peg_index_format_info does not report format v2")
+	}
+	if values["peg_index_mapped_bytes"] <= 0 {
+		t.Errorf("peg_index_mapped_bytes = %v, want > 0 for a packed index", values["peg_index_mapped_bytes"])
+	}
+	if values["peg_index_probes_total"] <= 0 {
+		t.Errorf("peg_index_probes_total = %v, want > 0 after serving matches", values["peg_index_probes_total"])
+	}
+	if values["peg_index_posting_decode_micros_count"] <= 0 {
+		t.Errorf("peg_index_posting_decode_micros_count = %v, want > 0 after serving matches", values["peg_index_posting_decode_micros_count"])
 	}
 }

@@ -292,6 +292,16 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 		calib: plan.NewCalibration(),
 	}
 	s.met.indexInfo.SetLabelValue(s.cur.id)
+	// Stamp the storage layout and route posting-decode timings from the new
+	// reader into the histogram. Live views forward both to the shared base
+	// index, so reinstalling per publish is idempotent; a reader without the
+	// metrics surface reads as "v1" (the layout every pre-v2 generation has).
+	if src, ok := ix.(pathindex.MetricsSource); ok {
+		s.met.indexFormat.SetLabelValue(src.IndexMetrics().Format)
+		src.SetPostingObserver(s.met.postingDecode.Observe)
+	} else {
+		s.met.indexFormat.SetLabelValue("v1")
+	}
 	// Prune fully released generations right away: with live ingest every
 	// batch publishes, and without pruning the retired list would pin one
 	// whole view (context tables, overlay, graph delta) per batch until the

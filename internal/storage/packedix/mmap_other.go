@@ -1,0 +1,14 @@
+//go:build !unix
+
+package packedix
+
+import "os"
+
+// Non-unix fallback: read the whole file onto the heap. Slower cold start,
+// identical semantics.
+func mapFile(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	return data, false, err
+}
+
+func unmap([]byte) error { return nil }

@@ -1,0 +1,35 @@
+//go:build unix
+
+package packedix
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The second result reports whether the bytes
+// are an mmap region (true) or a heap copy (false, used for empty files —
+// mmap of length 0 is an error on Linux).
+func mapFile(path string) ([]byte, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	if st.Size() == 0 {
+		return []byte{}, false, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,429 @@
+// Package packedix implements the packed path-index format v2: one
+// immutable file holding everything a query-time probe needs — a fixed
+// header with a section offset table, per-path-length sorted key tables,
+// delta+varint-compressed posting blobs, and the per-node context tables —
+// written once by a single producer and opened read-only with mmap.
+//
+// The layout is designed so the read path never materializes the index on
+// the heap: key tables are fixed-stride and binary-searched directly in the
+// mapping, postings decode into caller-owned scratch, and the context
+// arrays alias the mapping in place when alignment allows. The per-bucket
+// record counts stored with every key double as the cardinality histogram
+// of Section 5.2.1, so no separate histogram file exists.
+//
+// File layout (integers little-endian unless noted):
+//
+//	Header (128 B):
+//	  [0:4]    magic "PEGX"
+//	  [4:6]    version u16 (= 2)
+//	  [6:8]    flags u16 (reserved, 0)
+//	  [8:12]   maxLen u32          — L, maximum path length in edges
+//	  [12:16]  nLabels u32
+//	  [16:20]  nBuckets u32        — probability buckets per sequence
+//	  [20:24]  pad u32
+//	  [24:32]  beta f64 bits
+//	  [32:40]  gamma f64 bits
+//	  [40:48]  nodes u64           — entity graph the index was built over
+//	  [48:56]  edges u64
+//	  [56:64]  entries u64         — total stored postings
+//	  [64:72]  seqTablesOff u64    — per-length descriptor table
+//	  [72:80]  postingsOff u64
+//	  [80:88]  postingsLen u64
+//	  [88:96]  contextOff u64
+//	  [96:104] contextLen u64
+//	  [104:112] fileSize u64       — must equal the real size (truncation check)
+//	  [112:128] reserved (zero)
+//
+//	Descriptor table at seqTablesOff: (maxLen+1) × 24 B records:
+//	  tableOff u64, seqCount u64, entriesAtLen u64
+//
+//	Key table for length l: seqCount entries of fixed stride, sorted by
+//	label bytes (big-endian u16 labels, so byte order == numeric order):
+//	  labels    (l+1)×2 B BE
+//	  blobOff   u64  — this sequence's posting blob, relative to postingsOff
+//	  per bucket b in 0..nBuckets-1:
+//	    count  u32   — records in bucket b (the histogram cell)
+//	    endOff u32   — byte offset past bucket b's records, relative to blobOff
+//
+//	Posting blob for one sequence: buckets ascending, records in insertion
+//	(recno) order within a bucket:
+//	  flags u8             — bit0: prle == 1.0 elided, bit1: prn == 1.0 elided
+//	  zigzag-varint node deltas — node[0] vs the previous record's node[0]
+//	    (vs 0 at each bucket start), node[i] vs node[i-1] within the record
+//	  prle f64 bits (absent when bit0), prn f64 bits (absent when bit1)
+//
+//	Context section at contextOff (8-aligned):
+//	  card  cells×i32, pad to 8, ppu cells×f64, fpu cells×f64
+//	  where cells = nodes × nLabels
+package packedix
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Version is the format version this package reads and writes.
+const Version = 2
+
+// FileName is the packed index file inside an index directory.
+const FileName = "packed.idx"
+
+// ErrCorrupt is the base error for every structural validation failure:
+// wrong magic, bad version, truncated sections, out-of-range offsets,
+// posting blobs that decode past their bounds. Callers gate on
+// errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("packedix: corrupt index")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+const (
+	headerSize     = 128
+	descriptorSize = 24 // tableOff, seqCount, entriesAtLen
+
+	// maxSupportedLen bounds maxLen at the format level so a corrupt header
+	// cannot make per-record scratch arrays overflow.
+	maxSupportedLen = 15
+	maxPathNodes    = maxSupportedLen + 1
+	maxLabels       = 1 << 20
+	maxBuckets      = 1 << 16
+)
+
+// Meta is the self-describing header content of a packed index.
+type Meta struct {
+	MaxLen   int
+	NLabels  int
+	NBuckets int
+	Beta     float64
+	Gamma    float64
+	Nodes    int
+	Edges    int
+	Entries  uint64
+	// EntriesPerLen holds the stored entry count per path length 0..MaxLen.
+	EntriesPerLen []uint64
+}
+
+// rec is one posting during construction.
+type rec struct {
+	nodes []uint32
+	prle  float64
+	prn   float64
+}
+
+// seqAcc accumulates one sequence's postings per bucket, in arrival order.
+type seqAcc struct {
+	labels  []uint16
+	buckets [][]rec
+}
+
+// Writer accumulates postings and context tables in memory and emits the
+// packed file in one shot. There is exactly one producer (the offline build
+// or the compactor), so no concurrency support is needed.
+type Writer struct {
+	meta  Meta
+	byLen []map[string]*seqAcc // per path length, keyed by label bytes
+
+	ctxLabels int
+	card      []int32
+	ppu, fpu  []float64
+	hasCtx    bool
+}
+
+// NewWriter starts a packed index with the given metadata. EntriesPerLen
+// and Entries are counted by Add and may be left zero.
+func NewWriter(m Meta) (*Writer, error) {
+	if m.MaxLen < 0 || m.MaxLen > maxSupportedLen {
+		return nil, fmt.Errorf("packedix: MaxLen %d out of range [0,%d]", m.MaxLen, maxSupportedLen)
+	}
+	if m.NLabels < 1 || m.NLabels > maxLabels {
+		return nil, fmt.Errorf("packedix: NLabels %d out of range", m.NLabels)
+	}
+	if m.NBuckets < 1 || m.NBuckets > maxBuckets {
+		return nil, fmt.Errorf("packedix: NBuckets %d out of range", m.NBuckets)
+	}
+	byLen := make([]map[string]*seqAcc, m.MaxLen+1)
+	for i := range byLen {
+		byLen[i] = make(map[string]*seqAcc)
+	}
+	m.Entries = 0
+	m.EntriesPerLen = make([]uint64, m.MaxLen+1)
+	return &Writer{meta: m, byLen: byLen}, nil
+}
+
+// labelBytes encodes labels big-endian so byte order equals numeric order.
+func labelBytes(dst []byte, labels []uint16) []byte {
+	for _, l := range labels {
+		dst = append(dst, byte(l>>8), byte(l))
+	}
+	return dst
+}
+
+// Add records one posting: an oriented path of len(labels) nodes whose
+// canonical label sequence is labels, in probability bucket b. Postings of
+// one (sequence, bucket) are stored in arrival order, which the reader
+// preserves — arrival order is the record-number order of the B+ tree
+// format, so scans over both formats agree byte for byte.
+func (w *Writer) Add(labels []uint16, bucket int, nodes []uint32, prle, prn float64) error {
+	if len(labels) == 0 || len(labels)-1 > w.meta.MaxLen {
+		return fmt.Errorf("packedix: sequence of %d labels exceeds L=%d", len(labels), w.meta.MaxLen)
+	}
+	if len(nodes) != len(labels) {
+		return fmt.Errorf("packedix: %d nodes for %d labels", len(nodes), len(labels))
+	}
+	if bucket < 0 || bucket >= w.meta.NBuckets {
+		return fmt.Errorf("packedix: bucket %d out of range [0,%d)", bucket, w.meta.NBuckets)
+	}
+	l := len(labels) - 1
+	key := string(labelBytes(make([]byte, 0, 2*len(labels)), labels))
+	acc := w.byLen[l][key]
+	if acc == nil {
+		acc = &seqAcc{
+			labels:  append([]uint16(nil), labels...),
+			buckets: make([][]rec, w.meta.NBuckets),
+		}
+		w.byLen[l][key] = acc
+	}
+	acc.buckets[bucket] = append(acc.buckets[bucket], rec{
+		nodes: append([]uint32(nil), nodes...),
+		prle:  prle,
+		prn:   prn,
+	})
+	w.meta.Entries++
+	w.meta.EntriesPerLen[l]++
+	return nil
+}
+
+// SetContext attaches the per-node context tables; all three slices must
+// hold nodes×nLabels cells.
+func (w *Writer) SetContext(nLabels int, card []int32, ppu, fpu []float64) error {
+	cells := w.meta.Nodes * nLabels
+	if len(card) != cells || len(ppu) != cells || len(fpu) != cells {
+		return fmt.Errorf("packedix: context tables hold %d/%d/%d cells, want %d",
+			len(card), len(ppu), len(fpu), cells)
+	}
+	w.ctxLabels, w.card, w.ppu, w.fpu, w.hasCtx = nLabels, card, ppu, fpu, true
+	return nil
+}
+
+// NumSeqs returns the number of distinct sequences accumulated so far.
+func (w *Writer) NumSeqs() int {
+	n := 0
+	for _, m := range w.byLen {
+		n += len(m)
+	}
+	return n
+}
+
+func putZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, uint64(v<<1)^uint64(v>>63))
+}
+
+// encodeSeqBlob emits one sequence's posting blob and returns the per-bucket
+// (count, endOff) pairs.
+func encodeSeqBlob(buf *bytes.Buffer, acc *seqAcc) (counts []uint32, ends []uint32, err error) {
+	counts = make([]uint32, len(acc.buckets))
+	ends = make([]uint32, len(acc.buckets))
+	var scratch [2 * maxPathNodes * binary.MaxVarintLen64]byte
+	start := buf.Len()
+	for b, recs := range acc.buckets {
+		var prev0 uint32 // the delta chain restarts at each bucket boundary
+		for _, r := range recs {
+			enc := scratch[:0]
+			flags := byte(0)
+			if r.prle == 1.0 {
+				flags |= 1
+			}
+			if r.prn == 1.0 {
+				flags |= 2
+			}
+			enc = append(enc, flags)
+			enc = putZigzag(enc, int64(r.nodes[0])-int64(prev0))
+			prev0 = r.nodes[0]
+			for i := 1; i < len(r.nodes); i++ {
+				enc = putZigzag(enc, int64(r.nodes[i])-int64(r.nodes[i-1]))
+			}
+			if flags&1 == 0 {
+				enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(r.prle))
+			}
+			if flags&2 == 0 {
+				enc = binary.LittleEndian.AppendUint64(enc, math.Float64bits(r.prn))
+			}
+			buf.Write(enc)
+		}
+		counts[b] = uint32(len(recs))
+		end := buf.Len() - start
+		if end > math.MaxUint32 {
+			return nil, nil, fmt.Errorf("packedix: sequence blob exceeds 4 GiB")
+		}
+		ends[b] = uint32(end)
+	}
+	return counts, ends, nil
+}
+
+// entryStride is the fixed key-table entry size for path length l.
+func entryStride(l, nBuckets int) int {
+	return 2*(l+1) + 8 + 8*nBuckets
+}
+
+// WriteFile assembles and writes the packed file: tmp + fsync + rename, so
+// a crash leaves either no file or a complete one. Returns the file size.
+func (w *Writer) WriteFile(path string) (int64, error) {
+	if !w.hasCtx {
+		return 0, fmt.Errorf("packedix: context tables not set")
+	}
+	nb := w.meta.NBuckets
+	nLens := w.meta.MaxLen + 1
+
+	// Sort each length's sequences by label bytes and encode all blobs.
+	type tableEntry struct {
+		labels  []byte
+		blobOff uint64
+		counts  []uint32
+		ends    []uint32
+	}
+	tables := make([][]tableEntry, nLens)
+	var postings bytes.Buffer
+	for l := 0; l < nLens; l++ {
+		keys := make([]string, 0, len(w.byLen[l]))
+		for k := range w.byLen[l] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		tables[l] = make([]tableEntry, len(keys))
+		for i, k := range keys {
+			acc := w.byLen[l][k]
+			off := uint64(postings.Len())
+			counts, ends, err := encodeSeqBlob(&postings, acc)
+			if err != nil {
+				return 0, err
+			}
+			tables[l][i] = tableEntry{labels: []byte(k), blobOff: off, counts: counts, ends: ends}
+		}
+	}
+
+	// Section offsets.
+	seqTablesOff := uint64(headerSize)
+	off := seqTablesOff + uint64(nLens*descriptorSize)
+	tableOffs := make([]uint64, nLens)
+	for l := 0; l < nLens; l++ {
+		tableOffs[l] = off
+		off += uint64(len(tables[l]) * entryStride(l, nb))
+	}
+	postingsOff := off
+	postingsLen := uint64(postings.Len())
+	off += postingsLen
+	contextOff := (off + 7) &^ 7 // 8-aligned so the float tables can alias the mapping
+	cells := w.meta.Nodes * w.ctxLabels
+	cardLen := uint64(4 * cells)
+	ctxPad := (8 - cardLen%8) % 8
+	contextLen := 8 + cardLen + ctxPad + uint64(16*cells) // nLabels u32 + pad u32 first
+	fileSize := contextOff + contextLen
+
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(path + ".tmp")
+	bw := bufio.NewWriterSize(f, 1<<20)
+
+	// Header.
+	hdr := make([]byte, headerSize)
+	copy(hdr, "PEGX")
+	binary.LittleEndian.PutUint16(hdr[4:], Version)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.meta.MaxLen))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(w.meta.NLabels))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(nb))
+	binary.LittleEndian.PutUint64(hdr[24:], math.Float64bits(w.meta.Beta))
+	binary.LittleEndian.PutUint64(hdr[32:], math.Float64bits(w.meta.Gamma))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(w.meta.Nodes))
+	binary.LittleEndian.PutUint64(hdr[48:], uint64(w.meta.Edges))
+	binary.LittleEndian.PutUint64(hdr[56:], w.meta.Entries)
+	binary.LittleEndian.PutUint64(hdr[64:], seqTablesOff)
+	binary.LittleEndian.PutUint64(hdr[72:], postingsOff)
+	binary.LittleEndian.PutUint64(hdr[80:], postingsLen)
+	binary.LittleEndian.PutUint64(hdr[88:], contextOff)
+	binary.LittleEndian.PutUint64(hdr[96:], contextLen)
+	binary.LittleEndian.PutUint64(hdr[104:], fileSize)
+	bw.Write(hdr)
+
+	// Descriptor table.
+	var u64 [8]byte
+	wr64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		bw.Write(u64[:])
+	}
+	for l := 0; l < nLens; l++ {
+		wr64(tableOffs[l])
+		wr64(uint64(len(tables[l])))
+		wr64(w.meta.EntriesPerLen[l])
+	}
+
+	// Key tables.
+	var u32 [4]byte
+	wr32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		bw.Write(u32[:])
+	}
+	for l := 0; l < nLens; l++ {
+		for i := range tables[l] {
+			e := &tables[l][i]
+			bw.Write(e.labels)
+			wr64(e.blobOff)
+			for b := 0; b < nb; b++ {
+				wr32(e.counts[b])
+				wr32(e.ends[b])
+			}
+		}
+	}
+
+	bw.Write(postings.Bytes())
+	for pad := contextOff - off; pad > 0; pad-- {
+		bw.WriteByte(0)
+	}
+
+	// Context section.
+	wr32(uint32(w.ctxLabels))
+	wr32(0)
+	for _, v := range w.card {
+		wr32(uint32(v))
+	}
+	for pad := ctxPad; pad > 0; pad-- {
+		bw.WriteByte(0)
+	}
+	for _, v := range w.ppu {
+		wr64(math.Float64bits(v))
+	}
+	for _, v := range w.fpu {
+		wr64(math.Float64bits(v))
+	}
+
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return 0, err
+	}
+	// Fsync the directory so the rename itself survives a power loss (the
+	// same protocol the generation-flip manifests use).
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return int64(fileSize), nil
+}
