@@ -48,9 +48,11 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 0, "concurrent match evaluations (0 = GOMAXPROCS)")
 		matchPar = flag.Int("match-parallelism", 1, "join workers per match evaluation (capped at -workers; 1 = sequential join)")
+		matchWk  = flag.Int("match-workers", 1, "pre-join stage workers per match evaluation — parallel candidate retrieval, k-partite build, reduction (1 = sequential)")
 		queue    = flag.Int("queue", 0, "request queue depth before 503 (0 = 4×workers)")
 		cache    = flag.Int("cache", 1024, "result cache entries (negative disables)")
 		plans    = flag.Int("plan-cache", 256, "plan cache entries (negative disables); repeat queries skip decomposition and planning")
+		cands    = flag.Int("cand-cache", 0, "candidate cache: pruned path candidates retained per index generation (0 = default budget, negative disables); repeat query shapes skip posting decode and context pruning")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 		alpha    = flag.Float64("alpha", 0.25, "default probability threshold α")
 		metrics  = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format)")
@@ -77,7 +79,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	opt := serverOptions(*workers, *matchPar, *queue, *cache, *plans, *timeout, *alpha)
+	opt := serverOptions(*workers, *matchPar, *matchWk, *queue, *cache, *plans, *timeout, *alpha)
+	opt.CandCacheSize = *cands
 	opt.DisableMetrics = !*metrics
 	opt.MaxPlanCost = *maxCost
 	opt.TraceAll = *traceAll
@@ -227,10 +230,11 @@ func loadPGD(path string) *peg.PGD {
 	return d
 }
 
-func serverOptions(workers, matchPar, queue, cache, plans int, timeout time.Duration, alpha float64) peg.ServerOptions {
+func serverOptions(workers, matchPar, matchWk, queue, cache, plans int, timeout time.Duration, alpha float64) peg.ServerOptions {
 	return peg.ServerOptions{
 		Workers:          workers,
 		MatchParallelism: matchPar,
+		MatchWorkers:     matchWk,
 		QueueDepth:       queue,
 		CacheEntries:     cache,
 		PlanCacheEntries: plans,

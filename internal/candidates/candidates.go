@@ -9,6 +9,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/decompose"
 	"repro/internal/entity"
@@ -50,6 +51,12 @@ type Stats struct {
 	Initial []int
 	// Kept[i] is the candidate count for path i surviving context pruning.
 	Kept []int
+	// CacheHits/CacheMisses/CacheBypassed count per-path candidate-cache
+	// outcomes for this call (hits include singleflight joins). All zero
+	// when no cache was supplied.
+	CacheHits     int
+	CacheMisses   int
+	CacheBypassed int
 }
 
 // NodeChecker memoizes the node-level candidacy test cn(n) of Section
@@ -129,47 +136,177 @@ func (nc *NodeChecker) check(v entity.ID, n query.NodeID) bool {
 }
 
 // Find runs the candidate generation stage for every decomposition path.
-func Find(ctx context.Context, ix pathindex.Reader, q *query.Query, dec *decompose.Decomposition, alpha float64, workers int) ([]Set, Stats, error) {
+// Paths are independent units (posting lookup fused with context pruning),
+// so with workers > 1 they are fanned out across the pool; results land in
+// deterministic per-path slots and the Stats products are accumulated in
+// path order afterwards, so the output — float bits included — is
+// identical to the sequential walk at any worker count.
+//
+// cache may be nil. A non-nil cache serves pruned per-path sets keyed by
+// (query structure, path node sequence, α) and is only sound against the
+// single immutable reader it was created for; readers reporting pending
+// mutations (live views with a dirty overlay) bypass it wholesale, since
+// overlay state is not part of the key.
+func Find(ctx context.Context, ix pathindex.Reader, q *query.Query, dec *decompose.Decomposition, alpha float64, workers int, cache *Cache) ([]Set, Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	g := ix.Graph()
 	nc := NewNodeChecker(g, ix.Context(), q, alpha)
 
-	sets := make([]Set, len(dec.Paths))
+	n := len(dec.Paths)
+	sets := make([]Set, n)
 	stats := Stats{
 		SSPath:    1,
 		SSContext: 1,
-		Initial:   make([]int, len(dec.Paths)),
-		Kept:      make([]int, len(dec.Paths)),
+		Initial:   make([]int, n),
+		Kept:      make([]int, n),
 	}
-	for i := range dec.Paths {
-		if err := ctx.Err(); err != nil {
-			return nil, Stats{}, err
+
+	if cache != nil {
+		if m, ok := ix.(mutating); ok && m.Mutations() > 0 {
+			cache.bypassed.Add(uint64(n))
+			stats.CacheBypassed = n
+			cache = nil
 		}
+	}
+	var prefix []byte
+	if cache != nil {
+		prefix = queryFingerprint(q, alpha)
+	}
+
+	pathWorkers := workers
+	if pathWorkers > n {
+		pathWorkers = n
+	}
+	// Prune width per path: splitting the pool across concurrent paths
+	// keeps total goroutine count ~= workers; the chunk concatenation in
+	// prune is order-preserving at any width, so this is a pure scheduling
+	// choice.
+	pruneWorkers := 1
+	if pathWorkers > 0 {
+		pruneWorkers = workers / pathWorkers
+		if pruneWorkers < 1 {
+			pruneWorkers = 1
+		}
+	}
+
+	hits := make([]bool, n)
+	findPath := func(i int) error {
 		p := &dec.Paths[i]
-		matches, err := ix.Lookup(p.Labels, alpha)
-		if err != nil {
-			return nil, Stats{}, err
+		compute := func() ([]Candidate, int, error) {
+			matches, err := ix.Lookup(p.Labels, alpha)
+			if err != nil {
+				return nil, 0, err
+			}
+			kept, err := prune(ctx, g, nc, p, matches, alpha, pruneWorkers)
+			if err != nil {
+				return nil, 0, err
+			}
+			return kept, len(matches), nil
 		}
-		kept := pruneParallel(g, nc, p, matches, alpha, workers)
-		sets[i] = Set{Path: p, Cands: kept, Initial: len(matches)}
-		stats.Initial[i] = len(matches)
+		var (
+			kept    []Candidate
+			initial int
+			err     error
+		)
+		if cache != nil {
+			kept, initial, hits[i], err = cache.do(ctx, pathKey(prefix, p), compute)
+		} else {
+			kept, initial, err = compute()
+		}
+		if err != nil {
+			return err
+		}
+		sets[i] = Set{Path: p, Cands: kept, Initial: initial}
+		stats.Initial[i] = initial
 		stats.Kept[i] = len(kept)
-		stats.SSPath *= float64(len(matches))
-		stats.SSContext *= float64(len(kept))
+		return nil
+	}
+
+	if pathWorkers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, Stats{}, err
+			}
+			if err := findPath(i); err != nil {
+				return nil, Stats{}, err
+			}
+		}
+	} else {
+		errs := make([]error, n)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < pathWorkers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					errs[i] = findPath(i)
+				}
+			}()
+		}
+		wg.Wait()
+		// Report the first failing path in index order, matching what the
+		// sequential walk would have surfaced.
+		for _, err := range errs {
+			if err != nil {
+				return nil, Stats{}, err
+			}
+		}
+	}
+
+	// Accumulate the search-space products and cache counters in path
+	// order so the float results are bitwise-stable across worker counts.
+	for i := 0; i < n; i++ {
+		stats.SSPath *= float64(stats.Initial[i])
+		stats.SSContext *= float64(stats.Kept[i])
+		if hits[i] {
+			stats.CacheHits++
+		}
+	}
+	if cache != nil {
+		stats.CacheMisses = n - stats.CacheHits
 	}
 	return sets, stats, nil
 }
 
-func pruneParallel(g *entity.Graph, nc *NodeChecker, p *decompose.Path, matches []pathindex.PathMatch, alpha float64, workers int) []Candidate {
+// cancelCheckEvery matches the join stage's polling convention: each prune
+// worker consults ctx once per this many candidates, so a single huge
+// path's prune is cancellable mid-flight.
+const cancelCheckEvery = 1024
+
+func prune(ctx context.Context, g *entity.Graph, nc *NodeChecker, p *decompose.Path, matches []pathindex.PathMatch, alpha float64, workers int) ([]Candidate, error) {
 	if len(matches) == 0 {
-		return nil
+		return nil, nil
 	}
 	if workers > len(matches) {
 		workers = len(matches)
 	}
+	if workers <= 1 {
+		var out []Candidate
+		for j, m := range matches {
+			if j%cancelCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if keepCandidate(g, nc, p, m, alpha) {
+				out = append(out, Candidate{Nodes: m.Nodes, Prle: m.Prle, Prn: m.Prn})
+			}
+		}
+		return out, nil
+	}
 	results := make([][]Candidate, workers)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	chunk := (len(matches) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -184,7 +321,11 @@ func pruneParallel(g *entity.Graph, nc *NodeChecker, p *decompose.Path, matches 
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var out []Candidate
-			for _, m := range matches[lo:hi] {
+			for j, m := range matches[lo:hi] {
+				if j%cancelCheckEvery == 0 && ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
 				if keepCandidate(g, nc, p, m, alpha) {
 					out = append(out, Candidate{Nodes: m.Nodes, Prle: m.Prle, Prn: m.Prn})
 				}
@@ -193,11 +334,16 @@ func pruneParallel(g *entity.Graph, nc *NodeChecker, p *decompose.Path, matches 
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+	// Chunks concatenate in worker order — identical to the sequential
+	// scan order regardless of width.
 	var kept []Candidate
 	for _, r := range results {
 		kept = append(kept, r...)
 	}
-	return kept
+	return kept, nil
 }
 
 // keepCandidate applies the two path-level tests of Section 5.2.2.

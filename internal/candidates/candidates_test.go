@@ -53,7 +53,7 @@ func TestFindMotivating(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets, stats, err := Find(context.Background(), ix, q, dec, 0.2, 2)
+	sets, stats, err := Find(context.Background(), ix, q, dec, 0.2, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestPathCyclePruning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets, _, err := Find(context.Background(), ix, q, dec, 0.5, 1)
+	sets, _, err := Find(context.Background(), ix, q, dec, 0.5, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,339 @@
+package candidates
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/gen"
+	"repro/internal/pathindex"
+)
+
+func synthIx(t *testing.T, seed int64) (*entity.Graph, *pathindex.Index) {
+	t.Helper()
+	d, err := gen.Synthetic(gen.SynthOptions{
+		Refs: 30, EdgeFactor: 2, Labels: 4, UncertainFrac: 0.4,
+		Groups: 2, GroupSize: 3, PairsPerGroup: 2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := entity.Build(d, entity.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, buildIx(t, g, 2, 0.05)
+}
+
+// setsIdentical demands exact equality — candidate order, node assignment,
+// and float bits of Prle/Prn — between two Find outputs. The parallel
+// fan-out must be indistinguishable from the sequential walk.
+func setsIdentical(t *testing.T, label string, want, got []Set) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d sets, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Initial != g.Initial {
+			t.Fatalf("%s: set %d Initial = %d, want %d", label, i, g.Initial, w.Initial)
+		}
+		if len(w.Cands) != len(g.Cands) {
+			t.Fatalf("%s: set %d has %d candidates, want %d", label, i, len(g.Cands), len(w.Cands))
+		}
+		for j := range w.Cands {
+			wc, gc := w.Cands[j], g.Cands[j]
+			if math.Float64bits(wc.Prle) != math.Float64bits(gc.Prle) ||
+				math.Float64bits(wc.Prn) != math.Float64bits(gc.Prn) {
+				t.Fatalf("%s: set %d cand %d probs (%v,%v), want (%v,%v)",
+					label, i, j, gc.Prle, gc.Prn, wc.Prle, wc.Prn)
+			}
+			if len(wc.Nodes) != len(gc.Nodes) {
+				t.Fatalf("%s: set %d cand %d node count differs", label, i, j)
+			}
+			for k := range wc.Nodes {
+				if wc.Nodes[k] != gc.Nodes[k] {
+					t.Fatalf("%s: set %d cand %d node %d = %d, want %d",
+						label, i, j, k, gc.Nodes[k], wc.Nodes[k])
+				}
+			}
+		}
+	}
+}
+
+// TestFindParallelEquivalence is the pre-join determinism property: Find at
+// workers 2, 4, and 8 — with and without a candidate cache — produces
+// bitwise-identical sets and Stats to the sequential walk, across both
+// decomposition strategies.
+func TestFindParallelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g, ix := synthIx(t, seed)
+		rng := rand.New(rand.NewSource(seed * 131))
+		for qi := 0; qi < 3; qi++ {
+			q, err := gen.RandomQuery(rng, g.NumLabels(), 2+rng.Intn(2), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []decompose.Mode{decompose.ModeOptimized, decompose.ModeRandom} {
+				dec, err := decompose.Decompose(q, ix, decompose.Options{
+					MaxLen: 2, Alpha: 0.1, Mode: mode, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("seed %d q%d mode %d", seed, qi, mode)
+				seq, seqStats, err := Find(context.Background(), ix, q, dec, 0.1, 1, nil)
+				if err != nil {
+					t.Fatalf("%s: sequential: %v", label, err)
+				}
+				for _, workers := range []int{2, 4, 8} {
+					for _, withCache := range []bool{false, true} {
+						var cache *Cache
+						if withCache {
+							cache = NewCache(0)
+						}
+						got, gotStats, err := Find(context.Background(), ix, q, dec, 0.1, workers, cache)
+						if err != nil {
+							t.Fatalf("%s w=%d: %v", label, workers, err)
+						}
+						setsIdentical(t, fmt.Sprintf("%s w=%d cache=%v", label, workers, withCache), seq, got)
+						if math.Float64bits(seqStats.SSPath) != math.Float64bits(gotStats.SSPath) ||
+							math.Float64bits(seqStats.SSContext) != math.Float64bits(gotStats.SSContext) {
+							t.Fatalf("%s w=%d: stats (%v,%v), want (%v,%v)", label, workers,
+								gotStats.SSPath, gotStats.SSContext, seqStats.SSPath, seqStats.SSContext)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFindCached: a second Find over the same (query, α, reader) is served
+// entirely from the cache — per-path hits — and returns identical sets.
+func TestFindCached(t *testing.T) {
+	g, ix := synthIx(t, 7)
+	rng := rand.New(rand.NewSource(7))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decompose.Decompose(q, ix, decompose.Options{MaxLen: 2, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(0)
+	cold, coldStats, err := Find(context.Background(), ix, q, dec, 0.1, 2, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.CacheHits != 0 || coldStats.CacheMisses != len(dec.Paths) {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/%d",
+			coldStats.CacheHits, coldStats.CacheMisses, len(dec.Paths))
+	}
+	warm, warmStats, err := Find(context.Background(), ix, q, dec, 0.1, 2, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.CacheHits != len(dec.Paths) || warmStats.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want %d/0",
+			warmStats.CacheHits, warmStats.CacheMisses, len(dec.Paths))
+	}
+	setsIdentical(t, "cached", cold, warm)
+	st := cache.Stats()
+	if st.Entries == 0 || st.Candidates == 0 {
+		t.Fatalf("cache empty after use: %+v", st)
+	}
+	// A different α must not share entries.
+	_, s2, err := Find(context.Background(), ix, q, dec, 0.2, 2, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.CacheHits != 0 {
+		t.Fatalf("α=0.2 run hit α=0.1 entries: %+v", s2)
+	}
+}
+
+// mutatingReader wraps a Reader and reports pending overlay mutations —
+// the shape live.View exposes. Find must bypass the cache for it.
+type mutatingReader struct {
+	pathindex.Reader
+	muts uint64
+}
+
+func (m *mutatingReader) Mutations() uint64 { return m.muts }
+
+func TestFindBypassesDirtyReader(t *testing.T) {
+	g, ix := synthIx(t, 9)
+	rng := rand.New(rand.NewSource(9))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decompose.Decompose(q, ix, decompose.Options{MaxLen: 2, Alpha: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(0)
+	dirty := &mutatingReader{Reader: ix, muts: 3}
+	_, st, err := Find(context.Background(), dirty, q, dec, 0.1, 2, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheBypassed != len(dec.Paths) || st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("dirty reader: %+v, want full bypass", st)
+	}
+	if cs := cache.Stats(); cs.Entries != 0 || cs.Bypassed != uint64(len(dec.Paths)) {
+		t.Fatalf("cache state after bypass: %+v", cs)
+	}
+	// The same reader with a drained overlay (post-compaction) caches again.
+	dirty.muts = 0
+	_, st, err = Find(context.Background(), dirty, q, dec, 0.1, 2, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheMisses != len(dec.Paths) {
+		t.Fatalf("clean reader did not populate cache: %+v", st)
+	}
+}
+
+// TestCacheEviction: the weight budget bounds retained candidates; the LRU
+// end is evicted first and the eviction counter advances.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(cacheShards * 4) // 4 candidates per shard
+	mk := func(n int) []Candidate {
+		cs := make([]Candidate, n)
+		for i := range cs {
+			cs[i] = Candidate{Nodes: []entity.ID{entity.ID(i)}, Prle: 1, Prn: 1}
+		}
+		return cs
+	}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		_, _, hit, err := c.do(context.Background(), key, func() ([]Candidate, int, error) {
+			return mk(3), 3, nil
+		})
+		if err != nil || hit {
+			t.Fatalf("insert %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	st := c.Stats()
+	if st.Candidates > cacheShards*4 {
+		t.Fatalf("budget exceeded: %d candidates retained", st.Candidates)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+	// An entry heavier than a whole shard budget is still admitted alone.
+	_, _, _, err := c.do(context.Background(), "huge", func() ([]Candidate, int, error) {
+		return mk(100), 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, hit, _ := c.do(context.Background(), "huge", func() ([]Candidate, int, error) {
+		t.Fatal("recomputed an admitted oversized entry")
+		return nil, 0, nil
+	}); !hit {
+		t.Fatal("oversized entry was not retained")
+	}
+}
+
+// TestCacheSingleflight: concurrent misses on one key run compute once;
+// every caller gets the same slice.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(0)
+	var computes int32
+	var mu sync.Mutex
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]Candidate, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			cands, _, _, err := c.do(context.Background(), "k", func() ([]Candidate, int, error) {
+				mu.Lock()
+				computes++
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+				return []Candidate{{Nodes: []entity.ID{1}, Prle: 1, Prn: 1}}, 1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = cands
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	for i := 1; i < len(results); i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatal("singleflight callers got different slices")
+		}
+	}
+}
+
+// countdownCtx reports Canceled after Err has been called n times — a
+// deterministic probe that the prune loop polls cancellation mid-path, not
+// only between paths.
+type countdownCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return nil }
+
+// TestFindCancelMidPrune: with a context that expires after the first few
+// polls, Find must return Canceled even though every per-path unit was
+// already dispatched — proving the prune workers themselves poll ctx (the
+// every-1024-candidates convention), not just the between-paths check.
+func TestFindCancelMidPrune(t *testing.T) {
+	g, ix := synthIx(t, 11)
+	rng := rand.New(rand.NewSource(11))
+	q, err := gen.RandomQuery(rng, g.NumLabels(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := decompose.Decompose(q, ix, decompose.Options{MaxLen: 2, Alpha: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow exactly one successful poll: the entry check passes, then the
+	// first in-prune poll (j == 0 of the first path) observes cancellation.
+	ctx := &countdownCtx{Context: context.Background(), left: 1}
+	_, _, err = Find(ctx, ix, q, dec, 0.01, 1, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The polling granularity is the join stage's every-1024 convention; a
+// drive-by change here would silently coarsen cancellation latency.
+func TestPruneCancelGranularity(t *testing.T) {
+	if cancelCheckEvery != 1024 {
+		t.Fatalf("cancelCheckEvery = %d, want 1024", cancelCheckEvery)
+	}
+}

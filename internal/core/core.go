@@ -146,6 +146,12 @@ type Options struct {
 	// receives this run's observations. One Calibration belongs to one
 	// index generation (the server keeps one per served index).
 	Calibration *plan.Calibration
+	// CandCache, when set, serves pruned per-path candidate sets for
+	// repeated query shapes, skipping posting decode and context pruning on
+	// a hit. Like Calibration it belongs to one index generation: sharing
+	// it across different snapshots returns stale candidates. Live views
+	// with pending mutations bypass it automatically.
+	CandCache *candidates.Cache
 }
 
 // OptionsError reports an invalid Options field. It is returned by every
@@ -201,6 +207,7 @@ func (o Options) exec() plan.Exec {
 		Limit:       o.Limit,
 		Order:       o.Order,
 		Parallelism: o.Parallelism,
+		CandCache:   o.CandCache,
 	}
 }
 
@@ -252,46 +259,56 @@ func Explain(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Optio
 // are sorted by mapping (then probability) for deterministic output, with
 // OrderByProb the probability-descending stream order is preserved.
 func Match(ctx context.Context, ix pathindex.Reader, q *query.Query, opt Options) (*Result, error) {
-	// Matches accumulate in exponentially growing chunks spliced once at the
-	// end: append-growing one big slice reallocates several times the final
-	// footprint at typical result sizes (the runtime grows large slices by
-	// ~1.25×, so the abandoned backing arrays sum to ~5× the result), and
-	// that churn dominated match-collect's bytes/op.
-	var (
-		chunks [][]join.Match
-		cur    []join.Match
-		total  int
-	)
-	st, err := MatchStream(ctx, ix, q, opt, func(m join.Match) bool {
-		if len(cur) == cap(cur) {
-			n := 2 * cap(cur)
-			if n == 0 {
-				n = 512
-			}
-			if len(cur) > 0 {
-				chunks = append(chunks, cur)
-			}
-			cur = make([]join.Match, 0, n)
-		}
-		cur = append(cur, m)
-		total++
-		return true
-	})
+	var col matchCollector
+	st, err := MatchStream(ctx, ix, q, opt, col.add)
 	if err != nil {
 		return nil, err
 	}
-	if total == 0 {
-		return &Result{Stats: st}, nil
+	return col.result(st, opt.Order), nil
+}
+
+// matchCollector accumulates streamed matches in exponentially growing
+// chunks spliced once at the end: append-growing one big slice reallocates
+// several times the final footprint at typical result sizes (the runtime
+// grows large slices by ~1.25×, so the abandoned backing arrays sum to ~5×
+// the result), and that churn dominated match-collect's bytes/op. Both
+// collect adapters — Match and MatchPlan — share it, so the cached-plan
+// path gets the same allocation profile as the planning path.
+type matchCollector struct {
+	chunks [][]join.Match
+	cur    []join.Match
+	total  int
+}
+
+func (c *matchCollector) add(m join.Match) bool {
+	if len(c.cur) == cap(c.cur) {
+		n := 2 * cap(c.cur)
+		if n == 0 {
+			n = 512
+		}
+		if len(c.cur) > 0 {
+			c.chunks = append(c.chunks, c.cur)
+		}
+		c.cur = make([]join.Match, 0, n)
 	}
-	ms := make([]join.Match, 0, total)
-	for _, c := range chunks {
-		ms = append(ms, c...)
+	c.cur = append(c.cur, m)
+	c.total++
+	return true
+}
+
+func (c *matchCollector) result(st Stats, order ResultOrder) *Result {
+	if c.total == 0 {
+		return &Result{Stats: st}
 	}
-	ms = append(ms, cur...)
-	if opt.Order == OrderEmit {
+	ms := make([]join.Match, 0, c.total)
+	for _, chunk := range c.chunks {
+		ms = append(ms, chunk...)
+	}
+	ms = append(ms, c.cur...)
+	if order == OrderEmit {
 		plan.SortMatches(ms)
 	}
-	return &Result{Matches: ms, Stats: st}, nil
+	return &Result{Matches: ms, Stats: st}
 }
 
 // MatchStream answers the same query as Match but drives a per-match yield
@@ -348,18 +365,12 @@ func MatchStreamPlan(ctx context.Context, ix pathindex.Reader, pl *plan.Plan, op
 // MatchPlan is the collect-all adapter over MatchStreamPlan, mirroring
 // Match over MatchStream.
 func MatchPlan(ctx context.Context, ix pathindex.Reader, pl *plan.Plan, opt Options) (*Result, error) {
-	var ms []join.Match
-	st, err := MatchStreamPlan(ctx, ix, pl, opt, func(m join.Match) bool {
-		ms = append(ms, m)
-		return true
-	})
+	var col matchCollector
+	st, err := MatchStreamPlan(ctx, ix, pl, opt, col.add)
 	if err != nil {
 		return nil, err
 	}
-	if opt.Order == OrderEmit {
-		plan.SortMatches(ms)
-	}
-	return &Result{Matches: ms, Stats: st}, nil
+	return col.result(st, opt.Order), nil
 }
 
 // ReductionStats isolates the joint search-space reduction for the Figure
@@ -382,11 +393,11 @@ func ProbeReduction(ctx context.Context, ix pathindex.Reader, q *query.Query, al
 	if err != nil {
 		return ReductionStats{}, err
 	}
-	sets, _, err := candidates.Find(ctx, ix, q, dec, alpha, workers)
+	sets, _, err := candidates.Find(ctx, ix, q, dec, alpha, workers, nil)
 	if err != nil {
 		return ReductionStats{}, err
 	}
-	kg, err := kpartite.Build(ctx, g, q, dec, sets, alpha)
+	kg, err := kpartite.Build(ctx, g, q, dec, sets, alpha, workers)
 	if err != nil {
 		return ReductionStats{}, err
 	}

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/candidates"
 	"repro/internal/decompose"
@@ -97,8 +98,12 @@ type Stats struct {
 
 // Build constructs the k-partite graph: join-candidate links are found with
 // per-pair lookup tables (Section 5.2.3), filtering by join predicates,
-// combined probability, and reference disjointness.
-func Build(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, sets []candidates.Set, alpha float64) (*Graph, error) {
+// combined probability, and reference disjointness. With workers > 1 the
+// per-pair link construction fans out across a pool: each unordered pair
+// writes only its own two kg.links slots and each worker owns a private
+// buildEval scratch, and since per-pair output is independent of scheduling
+// the resulting CSR arenas are byte-identical at any worker count.
+func Build(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.Decomposition, sets []candidates.Set, alpha float64, workers int) (*Graph, error) {
 	k := len(sets)
 	kg := &Graph{g: g, q: q, dec: dec, alpha: alpha}
 	kg.parts = make([]*partition, k)
@@ -127,12 +132,59 @@ func Build(ctx context.Context, g *entity.Graph, q *query.Query, dec *decompose.
 	}
 	kg.computeWeights()
 
-	be := newBuildEval(g, q, dec, alpha)
+	// Deterministic pair order (the map iteration order above would do for
+	// correctness — slots are disjoint — but a sorted work list keeps the
+	// sequential walk reproducible and the atomic hand-out stable).
+	pairs := make([][2]int, 0, len(dec.Joins))
 	for pair := range dec.Joins {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
 		}
-		kg.linkPair(be, pair[0], pair[1])
+		return pairs[i][1] < pairs[j][1]
+	})
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		be := newBuildEval(g, q, dec, alpha, maxRefID(g))
+		for _, pair := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			kg.linkPair(be, pair[0], pair[1])
+		}
+		return kg, nil
+	}
+
+	// maxRef needs a full graph scan — compute it once and share it across
+	// the per-worker scratch allocations.
+	maxRef := maxRefID(g)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			be := newBuildEval(g, q, dec, alpha, maxRef)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) || ctx.Err() != nil {
+					return
+				}
+				kg.linkPair(be, pairs[i][0], pairs[i][1])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return kg, nil
 }
@@ -195,12 +247,10 @@ type buildEval struct {
 	unionEdges [][2]query.NodeID
 }
 
-func newBuildEval(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, alpha float64) *buildEval {
-	be := &buildEval{g: g, q: q, dec: dec, alpha: alpha}
-	be.asn = make([]entity.ID, q.NumNodes())
-	for i := range be.asn {
-		be.asn[i] = -1
-	}
+// maxRefID scans the graph for the highest reference id, sizing the
+// joinability bitset. Hoisted out of newBuildEval so parallel Build pays
+// the scan once, not once per worker.
+func maxRefID(g *entity.Graph) refgraph.RefID {
 	maxRef := refgraph.RefID(-1)
 	for v := 0; v < g.NumNodes(); v++ {
 		for _, r := range g.Refs(entity.ID(v)) {
@@ -208,6 +258,15 @@ func newBuildEval(g *entity.Graph, q *query.Query, dec *decompose.Decomposition,
 				maxRef = r
 			}
 		}
+	}
+	return maxRef
+}
+
+func newBuildEval(g *entity.Graph, q *query.Query, dec *decompose.Decomposition, alpha float64, maxRef refgraph.RefID) *buildEval {
+	be := &buildEval{g: g, q: q, dec: dec, alpha: alpha}
+	be.asn = make([]entity.ID, q.NumNodes())
+	for i := range be.asn {
+		be.asn[i] = -1
 	}
 	be.refWords = make([]uint64, int(maxRef)/64+1)
 	return be

@@ -1,0 +1,120 @@
+package kpartite
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/decompose"
+	"repro/internal/entity"
+	"repro/internal/gen"
+	"repro/internal/pathindex"
+)
+
+// graphsIdentical compares the built k-partite graphs arena by arena: the
+// row-major candidate node arrays, the float bits of w1/w2, and every CSR
+// link set's offs and pool. Byte-identical arenas are the determinism
+// contract of the parallel pair fan-out.
+func graphsIdentical(t *testing.T, label string, want, got *Graph) {
+	t.Helper()
+	if len(want.parts) != len(got.parts) {
+		t.Fatalf("%s: %d partitions, want %d", label, len(got.parts), len(want.parts))
+	}
+	for p := range want.parts {
+		wp, gp := want.parts[p], got.parts[p]
+		if wp.n != gp.n || wp.plen != gp.plen {
+			t.Fatalf("%s: partition %d shape (%d,%d), want (%d,%d)", label, p, gp.n, gp.plen, wp.n, wp.plen)
+		}
+		for i := range wp.nodes {
+			if wp.nodes[i] != gp.nodes[i] {
+				t.Fatalf("%s: partition %d nodes[%d] = %d, want %d", label, p, i, gp.nodes[i], wp.nodes[i])
+			}
+		}
+		for i := range wp.w1 {
+			if math.Float64bits(wp.w1[i]) != math.Float64bits(gp.w1[i]) ||
+				math.Float64bits(wp.w2[i]) != math.Float64bits(gp.w2[i]) {
+				t.Fatalf("%s: partition %d weights[%d] differ", label, p, i)
+			}
+		}
+	}
+	for a := range want.links {
+		for b := range want.links[a] {
+			wl, gl := &want.links[a][b], &got.links[a][b]
+			if len(wl.offs) != len(gl.offs) || len(wl.pool) != len(gl.pool) {
+				t.Fatalf("%s: links[%d][%d] shape (%d,%d), want (%d,%d)",
+					label, a, b, len(gl.offs), len(gl.pool), len(wl.offs), len(wl.pool))
+			}
+			for i := range wl.offs {
+				if wl.offs[i] != gl.offs[i] {
+					t.Fatalf("%s: links[%d][%d].offs[%d] = %d, want %d", label, a, b, i, gl.offs[i], wl.offs[i])
+				}
+			}
+			for i := range wl.pool {
+				if wl.pool[i] != gl.pool[i] {
+					t.Fatalf("%s: links[%d][%d].pool[%d] = %d, want %d", label, a, b, i, gl.pool[i], wl.pool[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildParallelEquivalence: the k-partite arenas built at workers 2, 4,
+// and 8 are byte-identical to the single-threaded build, across both
+// decomposition strategies on seeded synthetic graphs.
+func TestBuildParallelEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		d, err := gen.Synthetic(gen.SynthOptions{
+			Refs: 30, EdgeFactor: 2, Labels: 4, UncertainFrac: 0.4,
+			Groups: 2, GroupSize: 3, PairsPerGroup: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := entity.Build(d, entity.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := pathindex.Build(context.Background(), g, pathindex.Options{
+			MaxLen: 2, Beta: 0.05, Gamma: 0.1, Dir: filepath.Join(t.TempDir(), "ix"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ix.Close() })
+
+		rng := rand.New(rand.NewSource(seed * 977))
+		for qi := 0; qi < 3; qi++ {
+			q, err := gen.RandomQuery(rng, g.NumLabels(), 2+rng.Intn(2), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []decompose.Mode{decompose.ModeOptimized, decompose.ModeRandom} {
+				dec, err := decompose.Decompose(q, ix, decompose.Options{
+					MaxLen: 2, Alpha: 0.1, Mode: mode, Seed: seed,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sets, _, err := candidates.Find(context.Background(), ix, q, dec, 0.1, 1, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq, err := Build(context.Background(), g, q, dec, sets, 0.1, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 4, 8} {
+					got, err := Build(context.Background(), g, q, dec, sets, 0.1, workers)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					graphsIdentical(t, fmt.Sprintf("seed %d q%d mode %d w=%d", seed, qi, mode, workers), seq, got)
+				}
+			}
+		}
+	}
+}

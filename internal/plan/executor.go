@@ -27,6 +27,11 @@ type Exec struct {
 	// Parallelism is the number of join-enumeration workers
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Parallelism int
+	// CandCache, when non-nil, serves pruned per-path candidate sets for
+	// repeated query shapes. It must only be shared between executions over
+	// the same immutable index snapshot (the serving tier owns one per
+	// generation); live views with pending mutations bypass it.
+	CandCache *candidates.Cache
 }
 
 // Executor runs compiled plans against one index. It is stateless apart
@@ -62,10 +67,15 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	g := e.ix.Graph()
 	q := pl.Query
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
-	// Candidate retrieval with context pruning (Section 5.2.2).
+	// Candidate retrieval with context pruning (Section 5.2.2), fanned out
+	// per path, optionally served from the generation's candidate cache.
 	t0 := time.Now()
-	sets, cstats, err := candidates.Find(ctx, e.ix, q, pl.Dec, pl.Alpha, opt.Workers)
+	sets, cstats, err := candidates.Find(ctx, e.ix, q, pl.Dec, pl.Alpha, workers, opt.CandCache)
 	if err != nil {
 		return st, err
 	}
@@ -87,19 +97,21 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 	}
 	st.Stages = append(st.Stages, StageStats{
 		Name: "candidates", Micros: Micros(st.CandidateTime), StartMicros: Micros(t0.Sub(start)),
-		EstRows: estTotal, ObsRows: obsTotal, Pruned: pruned,
+		EstRows: estTotal, ObsRows: obsTotal, Pruned: pruned, Workers: workers,
+		CacheHits: cstats.CacheHits, CacheMisses: cstats.CacheMisses, CacheBypassed: cstats.CacheBypassed,
 	})
 
-	// Join-candidates / k-partite graph (Section 5.2.3).
+	// Join-candidates / k-partite graph (Section 5.2.3), pairs fanned out
+	// across the same pool.
 	t0 = time.Now()
-	kg, err := kpartite.Build(ctx, g, q, pl.Dec, sets, pl.Alpha)
+	kg, err := kpartite.Build(ctx, g, q, pl.Dec, sets, pl.Alpha, workers)
 	if err != nil {
 		return st, err
 	}
 	st.BuildTime = time.Since(t0)
 	st.Stages = append(st.Stages, StageStats{
 		Name: "build", Micros: Micros(st.BuildTime), StartMicros: Micros(t0.Sub(start)),
-		ObsRows: float64(kg.NumLinks()),
+		ObsRows: float64(kg.NumLinks()), Workers: workers,
 	})
 
 	// Joint search space reduction (Section 5.2.4), when the plan says so.
@@ -110,7 +122,7 @@ func (e *Executor) Run(ctx context.Context, pl *Plan, opt Exec, yield func(join.
 		before += kg.AliveCount(p)
 	}
 	if pl.Reduce {
-		rst, err := kg.Reduce(ctx, opt.Workers)
+		rst, err := kg.Reduce(ctx, workers)
 		if err != nil {
 			return st, err
 		}

@@ -173,6 +173,14 @@ type StageStats struct {
 	ObsRows float64 `json:"obs_rows,omitempty"`
 	// Pruned counts rows the stage discarded.
 	Pruned int64 `json:"pruned,omitempty"`
+	// Workers is the parallelism the stage actually ran with (omitted for
+	// inherently sequential stages).
+	Workers int `json:"workers,omitempty"`
+	// CacheHits/CacheMisses/CacheBypassed report candidate-cache outcomes
+	// for the candidates stage (absent when no cache is configured).
+	CacheHits     int `json:"cache_hits,omitempty"`
+	CacheMisses   int `json:"cache_misses,omitempty"`
+	CacheBypassed int `json:"cache_bypassed,omitempty"`
 }
 
 // Stats reports per-stage behaviour of one match run.

@@ -144,6 +144,28 @@ func newServerMetrics(s *Server) *serverMetrics {
 		metrics.NewGaugeFunc("peg_plan_cache_entries",
 			"Plan-cache resident entries.", func() float64 { _, _, n := s.plans.stats(); return float64(n) }),
 
+		// Candidate-cache counters are monotonic across generation swaps:
+		// candCacheStats folds retired generations' final counts into the
+		// bases before the new generation's cache starts at zero.
+		metrics.NewCounterFunc("peg_candcache_hits_total",
+			"Candidate-cache hits: per-path evaluations that skipped posting decode and context pruning.",
+			func() float64 { return float64(s.candCacheStats().Hits) }),
+		metrics.NewCounterFunc("peg_candcache_misses_total",
+			"Candidate-cache misses (pruned sets computed and stored).",
+			func() float64 { return float64(s.candCacheStats().Misses) }),
+		metrics.NewCounterFunc("peg_candcache_bypass_total",
+			"Per-path evaluations that bypassed the candidate cache (live view with a dirty overlay).",
+			func() float64 { return float64(s.candCacheStats().Bypassed) }),
+		metrics.NewCounterFunc("peg_candcache_evictions_total",
+			"Candidate-cache entries evicted to stay under the budget.",
+			func() float64 { return float64(s.candCacheStats().Evictions) }),
+		metrics.NewGaugeFunc("peg_candcache_entries",
+			"Candidate-cache resident entries (current generation).",
+			func() float64 { return float64(s.candCacheStats().Entries) }),
+		metrics.NewGaugeFunc("peg_candcache_candidates",
+			"Pruned candidates retained by the candidate cache (current generation).",
+			func() float64 { return float64(s.candCacheStats().Candidates) }),
+
 		metrics.NewCounterFunc("peg_ingested_mutations_total",
 			"Mutations applied through /ingest.", func() float64 { return float64(s.ingested.Load()) }),
 		metrics.NewCounterFunc("peg_ingest_failed_total",

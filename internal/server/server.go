@@ -54,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/candidates"
 	"repro/internal/core"
 	"repro/internal/join"
 	"repro/internal/live"
@@ -96,6 +97,14 @@ type Options struct {
 	// index identity, so repeat queries — including /match/stream requests,
 	// which bypass the result cache — skip decomposition and planning.
 	PlanCacheEntries int
+	// CandCacheSize bounds the per-generation candidate cache: the total
+	// number of pruned path candidates it may retain across entries
+	// (0 = candidates.DefaultCacheBudget, negative disables). Each served
+	// generation owns one cache — invalidation is by identity, exactly like
+	// the plan and result caches — so repeat query shapes skip posting
+	// decode and context pruning; live views with a dirty overlay bypass
+	// it until the next publish.
+	CandCacheSize int
 	// MaxPlanCost is the cost-based admission budget: a query whose
 	// calibrated plan-cost estimate (plan.Tree.Cost.Total) exceeds it is
 	// rejected with 429 + Retry-After before execution, counted as
@@ -166,6 +175,10 @@ type servedIndex struct {
 	ix    pathindex.Reader
 	id    string
 	calib *plan.Calibration
+	// cands is this generation's candidate cache (nil when disabled). It
+	// never outlives the generation: a swap retires it wholesale, and its
+	// final counters are folded into the server's monotonic bases.
+	cands *candidates.Cache
 	refs  atomic.Int64
 }
 
@@ -206,6 +219,13 @@ type Server struct {
 	costRejected atomic.Uint64
 	ingested     atomic.Uint64
 	ingestFailed atomic.Uint64
+
+	// candBase accumulates the final candidate-cache counters of retired
+	// generations so the exported peg_candcache_* totals stay monotonic
+	// across swaps (a fresh generation starts its own counters at zero).
+	candBase struct {
+		hits, misses, bypassed, evictions atomic.Uint64
+	}
 
 	met     *serverMetrics
 	traceMu sync.Mutex // serializes NDJSON trace lines onto TraceWriter
@@ -283,6 +303,15 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := s.cur
+	if old != nil && old.cands != nil {
+		// Fold the retiring generation's cache counters into the monotonic
+		// bases before the new generation starts its own at zero.
+		cst := old.cands.Stats()
+		s.candBase.hits.Add(cst.Hits)
+		s.candBase.misses.Add(cst.Misses)
+		s.candBase.bypassed.Add(cst.Bypassed)
+		s.candBase.evictions.Add(cst.Evictions)
+	}
 	// A monotonically increasing generation makes the id collision-free
 	// across swaps (a %p pointer could be reused after GC); the entry count
 	// is informational.
@@ -290,6 +319,7 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 		ix:    ix,
 		id:    fmt.Sprintf("gen%d#%d", s.gen.Add(1), ix.Stats().Entries),
 		calib: plan.NewCalibration(),
+		cands: s.newCandCache(),
 	}
 	s.met.indexInfo.SetLabelValue(s.cur.id)
 	// Stamp the storage layout and route posting-decode timings from the new
@@ -319,6 +349,31 @@ func (s *Server) setIndex(ix pathindex.Reader) *servedIndex {
 		s.retired = append(s.retired, old)
 	}
 	return old
+}
+
+// newCandCache creates the candidate cache for a freshly installed
+// generation; nil when the knob disables caching.
+func (s *Server) newCandCache() *candidates.Cache {
+	if s.opt.CandCacheSize < 0 {
+		return nil
+	}
+	return candidates.NewCache(s.opt.CandCacheSize)
+}
+
+// candCacheStats reports the live totals: retired-generation bases plus the
+// current generation's counters, so scrapes never observe a reset.
+func (s *Server) candCacheStats() candidates.CacheStats {
+	si, release := s.acquireIndex()
+	var cur candidates.CacheStats
+	if si != nil {
+		cur = si.cands.Stats()
+	}
+	release()
+	cur.Hits += s.candBase.hits.Load()
+	cur.Misses += s.candBase.misses.Load()
+	cur.Bypassed += s.candBase.bypassed.Load()
+	cur.Evictions += s.candBase.evictions.Load()
+	return cur
 }
 
 // acquireIndex pins the current index generation; callers must call
@@ -492,8 +547,15 @@ type StatsResponse struct {
 	PlanCacheHits    uint64 `json:"plan_cache_hits"`
 	PlanCacheMisses  uint64 `json:"plan_cache_misses"`
 	PlanCacheEntries int    `json:"plan_cache_entries"`
-	Workers          int    `json:"workers"`
-	IndexEntries     uint64 `json:"index_entries"`
+	// Candidate-cache counters: hits are per-path evaluations served from
+	// the per-generation pruned-candidate cache (posting decode and context
+	// pruning skipped). Monotonic across generation swaps.
+	CandCacheHits     uint64 `json:"cand_cache_hits"`
+	CandCacheMisses   uint64 `json:"cand_cache_misses"`
+	CandCacheBypassed uint64 `json:"cand_cache_bypassed"`
+	CandCacheEntries  int    `json:"cand_cache_entries"`
+	Workers           int    `json:"workers"`
+	IndexEntries      uint64 `json:"index_entries"`
 	// Live ingest counters (zero when the write path is disabled).
 	Ingested     uint64       `json:"ingested,omitempty"`
 	IngestFailed uint64       `json:"ingest_failed,omitempty"`
@@ -810,7 +872,7 @@ func (s *Server) handleMatchStream(w http.ResponseWriter, r *http.Request) {
 	clientGone := false
 	n := 0
 	execStart := time.Now()
-	st, matchErr := core.MatchStreamPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib), func(m join.Match) bool {
+	st, matchErr := core.MatchStreamPlan(ctx, si.ix, pl, p.options(&s.opt, si), func(m join.Match) bool {
 		e := matchEntry(m)
 		if err := enc.Encode(&StreamEvent{Match: &e}); err != nil {
 			clientGone = true
@@ -1091,6 +1153,7 @@ func (s *Server) Ready() bool {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.stats()
 	phits, pmisses, psize := s.plans.stats()
+	cst := s.candCacheStats()
 	si, release := s.acquireIndex()
 	defer release()
 	var indexEntries uint64
@@ -1098,22 +1161,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		indexEntries = si.ix.Stats().Entries
 	}
 	resp := &StatsResponse{
-		Requests:         s.requests.Load(),
-		Succeeded:        s.succeeded.Load(),
-		Failed:           s.failed.Load(),
-		Canceled:         s.canceled.Load(),
-		Rejected:         s.rejected.Load(),
-		CostRejected:     s.costRejected.Load(),
-		CacheHits:        hits,
-		CacheMisses:      misses,
-		CacheEntries:     size,
-		PlanCacheHits:    phits,
-		PlanCacheMisses:  pmisses,
-		PlanCacheEntries: psize,
-		Workers:          s.opt.Workers,
-		IndexEntries:     indexEntries,
-		Ingested:         s.ingested.Load(),
-		IngestFailed:     s.ingestFailed.Load(),
+		Requests:          s.requests.Load(),
+		Succeeded:         s.succeeded.Load(),
+		Failed:            s.failed.Load(),
+		Canceled:          s.canceled.Load(),
+		Rejected:          s.rejected.Load(),
+		CostRejected:      s.costRejected.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      size,
+		PlanCacheHits:     phits,
+		PlanCacheMisses:   pmisses,
+		PlanCacheEntries:  psize,
+		CandCacheHits:     cst.Hits,
+		CandCacheMisses:   cst.Misses,
+		CandCacheBypassed: cst.Bypassed,
+		CandCacheEntries:  cst.Entries,
+		Workers:           s.opt.Workers,
+		IndexEntries:      indexEntries,
+		Ingested:          s.ingested.Load(),
+		IngestFailed:      s.ingestFailed.Load(),
 	}
 	if db := s.liveDB(); db != nil {
 		st := db.Status()
@@ -1136,8 +1203,9 @@ type matchParams struct {
 }
 
 // options maps the parsed request onto the core options for one evaluation
-// against one served generation (whose calibration receives the feedback).
-func (p *matchParams) options(opt *Options, calib *plan.Calibration) core.Options {
+// against one served generation (whose calibration receives the feedback
+// and whose candidate cache serves repeated query shapes).
+func (p *matchParams) options(opt *Options, si *servedIndex) core.Options {
 	return core.Options{
 		Alpha:       p.alpha,
 		Strategy:    p.strat,
@@ -1145,7 +1213,8 @@ func (p *matchParams) options(opt *Options, calib *plan.Calibration) core.Option
 		Limit:       p.limit,
 		Order:       p.order,
 		Parallelism: opt.MatchParallelism,
-		Calibration: calib,
+		Calibration: si.calib,
+		CandCache:   si.cands,
 	}
 }
 
@@ -1194,7 +1263,7 @@ func (s *Server) plannedFor(ctx context.Context, si *servedIndex, p *matchParams
 		s.opt.Tracer.RecordSpan(ctx, "plan-cache", t0, time.Since(t0), map[string]string{"result": "miss"})
 	}
 	t0 = time.Now()
-	pl, err := core.Prepare(ctx, si.ix, p.q, p.options(&s.opt, si.calib))
+	pl, err := core.Prepare(ctx, si.ix, p.q, p.options(&s.opt, si))
 	if traced {
 		s.opt.Tracer.RecordSpan(ctx, "plan", t0, time.Since(t0), nil)
 	}
@@ -1363,7 +1432,7 @@ func (s *Server) compute(ctx context.Context, si *servedIndex, p *matchParams, k
 		return nil, err
 	}
 	execStart := time.Now()
-	result, err := core.MatchPlan(ctx, si.ix, pl, p.options(&s.opt, si.calib))
+	result, err := core.MatchPlan(ctx, si.ix, pl, p.options(&s.opt, si))
 	if err != nil {
 		return nil, matchError(err)
 	}

@@ -70,6 +70,7 @@ import (
 	"iter"
 	"net/http"
 
+	"repro/internal/candidates"
 	"repro/internal/core"
 	"repro/internal/entity"
 	"repro/internal/join"
@@ -189,6 +190,14 @@ type (
 	// observed/estimated feedback from earlier executions against the same
 	// index (attach one per index via MatchOptions.Calibration).
 	PlanCalibration = plan.Calibration
+	// CandidateCache serves pruned per-path candidate sets for repeated
+	// query shapes, skipping posting decode and context pruning on a hit.
+	// Like PlanCalibration it belongs to one immutable index snapshot
+	// (attach via MatchOptions.CandCache); live views with pending
+	// mutations bypass it automatically.
+	CandidateCache = candidates.Cache
+	// CandidateCacheStats snapshots a CandidateCache's counters.
+	CandidateCacheStats = candidates.CacheStats
 	// MatchOptionsError is the typed validation error Match* return for
 	// out-of-range options (NaN α, negative limit, unknown strategy...);
 	// the server maps it to HTTP 400.
@@ -390,6 +399,11 @@ func MatchPlan(ctx context.Context, ix IndexReader, pl *PreparedPlan, opt MatchO
 // NewPlanCalibration returns an identity calibration to attach to
 // MatchOptions.Calibration for one index.
 func NewPlanCalibration() *PlanCalibration { return plan.NewCalibration() }
+
+// NewCandidateCache returns a candidate cache retaining at most budget
+// pruned path candidates in total (0 = the default budget) for one
+// immutable index snapshot; attach it via MatchOptions.CandCache.
+func NewCandidateCache(budget int) *CandidateCache { return candidates.NewCache(budget) }
 
 // NewServer wraps an opened index (or a live database view) in the
 // concurrent HTTP/JSON query server; mount NewServer(ix, opt).Handler() on
